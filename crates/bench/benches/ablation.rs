@@ -1,0 +1,173 @@
+//! Ablation benchmarks for PM's design choices (called out in DESIGN.md):
+//! switch-selection rule, controller-mapping rule, and phase 2.
+//!
+//! Criterion measures the runtime cost of each variant; the solution
+//! *quality* of each variant is printed once at startup so a single
+//! `cargo bench` run documents both sides of the trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_core::heuristic::{MappingRule, SelectionRule};
+use pm_core::{FmssmInstance, Pm, PmConfig, RecoveryAlgorithm};
+use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWanBuilder};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, PmConfig)> {
+    vec![
+        ("paper", PmConfig::default()),
+        (
+            "selection=highest_gamma",
+            PmConfig {
+                selection: SelectionRule::HighestGamma,
+                ..Default::default()
+            },
+        ),
+        (
+            "selection=lowest_id",
+            PmConfig {
+                selection: SelectionRule::LowestId,
+                ..Default::default()
+            },
+        ),
+        (
+            "mapping=max_capacity",
+            PmConfig {
+                mapping: MappingRule::MaxCapacity,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_phase2",
+            PmConfig {
+                skip_phase2: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "faithful_sigma",
+            PmConfig {
+                faithful_sigma: true,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&[ControllerId(3), ControllerId(4)])
+        .expect("headline case");
+    let inst = FmssmInstance::new(&scenario, &prog);
+
+    // Print the quality comparison once.
+    println!("\nPM ablation quality on the (13,20) headline case:");
+    println!(
+        "{:<28} {:>6} {:>8} {:>10} {:>12}",
+        "variant", "min", "total", "flows", "delay(ms)"
+    );
+    for (name, config) in variants() {
+        let plan = Pm::with_config(config).recover(&inst).expect("pm variant");
+        let m = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        println!(
+            "{:<28} {:>6} {:>8} {:>10} {:>12.1}",
+            name,
+            m.min_programmability_recoverable(),
+            m.total_programmability,
+            format!("{}/{}", m.recovered_flows, m.recoverable_flows),
+            plan.total_control_delay(&scenario),
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("pm_ablation");
+    for (name, config) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                Pm::with_config(*config)
+                    .recover(black_box(&inst))
+                    .expect("pm")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// λ sensitivity: the paper (following its \[17\]) picks λ small enough that
+/// the combined objective is lexicographic in (r, total). This ablation
+/// shows what larger λ values cost in balance on a small instance the
+/// exact solver can finish, and benches the solve time per λ.
+fn bench_lambda(c: &mut Criterion) {
+    use pm_core::{DelayBound, Optimal};
+    use pm_topo::{builders, NodeId};
+    // Capacity chosen tight (just above each controller's own load) so λ
+    // actually trades balance against total programmability.
+    let probe = SdWanBuilder::new(builders::grid(3, 3))
+        .controller(NodeId(0), 10_000)
+        .controller(NodeId(8), 10_000)
+        .build()
+        .expect("grid builds");
+    let cap = (0..2)
+        .map(|c| probe.controller_load(ControllerId(c)))
+        .max()
+        .unwrap()
+        + 10;
+    let net = SdWanBuilder::new(probe.topology().clone())
+        .controller(NodeId(0), cap)
+        .controller(NodeId(8), cap)
+        .build()
+        .expect("sized grid builds");
+    let prog = Programmability::compute(&net);
+    let scenario = net.fail(&[ControllerId(0)]).expect("valid failure");
+    let inst = FmssmInstance::new(&scenario, &prog);
+
+    println!("\nλ ablation on a 3×3 grid (single failure, exact solve):");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8}",
+        "lambda", "min", "total", "proved"
+    );
+    let lexicographic = inst.lambda();
+    for (name, lambda) in [
+        ("0 (r only)", 0.0),
+        ("paper (lex)", lexicographic),
+        ("0.01", 0.01),
+        ("1.0", 1.0),
+    ] {
+        let out = Optimal::new()
+            .lambda(lambda)
+            .delay_bound(DelayBound::Unbounded)
+            .time_limit(std::time::Duration::from_secs(10))
+            .solve_detailed(&inst)
+            .expect("solvable");
+        let m = PlanMetrics::compute(&scenario, &prog, &out.plan, 0.0);
+        println!(
+            "{:<14} {:>6} {:>8} {:>8}",
+            name,
+            m.min_programmability_recoverable(),
+            m.total_programmability,
+            out.proved_optimal()
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("lambda_ablation");
+    group.sample_size(10);
+    for (name, lambda) in [("lex", lexicographic), ("one", 1.0)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &lambda, |b, &lambda| {
+            b.iter(|| {
+                Optimal::new()
+                    .lambda(lambda)
+                    .delay_bound(DelayBound::Unbounded)
+                    .time_limit(std::time::Duration::from_secs(10))
+                    .solve_detailed(black_box(&inst))
+                    .expect("solvable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_lambda);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the recovery algorithms on the paper's
+//! evaluation network (supports Fig. 7's computation-time comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, Programmability, SdWanBuilder};
+use std::hint::black_box;
+
+fn bench_recovery(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+    // One representative case per failure count, including the headline
+    // (13, 20) two-failure case.
+    let cases: Vec<(&str, Vec<ControllerId>)> = vec![
+        ("1-failure (13)", vec![ControllerId(3)]),
+        ("2-failure (13,20)", vec![ControllerId(3), ControllerId(4)]),
+        (
+            "3-failure (5,13,20)",
+            vec![ControllerId(1), ControllerId(3), ControllerId(4)],
+        ),
+    ];
+
+    let mut group = c.benchmark_group("recovery");
+    for (label, failed) in &cases {
+        let scenario = net.fail(failed).expect("valid case");
+        let inst = FmssmInstance::new(&scenario, &prog);
+        group.bench_with_input(BenchmarkId::new("PM", label), &inst, |b, inst| {
+            b.iter(|| Pm::new().recover(black_box(inst)).expect("pm"))
+        });
+        group.bench_with_input(BenchmarkId::new("RetroFlow", label), &inst, |b, inst| {
+            b.iter(|| {
+                RetroFlow::new()
+                    .recover(black_box(inst))
+                    .expect("retroflow")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("PG", label), &inst, |b, inst| {
+            b.iter(|| Pg::new().recover(black_box(inst)).expect("pg"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_instance_build(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&[ControllerId(3), ControllerId(4)])
+        .expect("valid case");
+    c.bench_function("fmssm_instance_build", |b| {
+        b.iter(|| FmssmInstance::new(black_box(&scenario), black_box(&prog)))
+    });
+}
+
+criterion_group!(benches, bench_recovery, bench_instance_build);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Scaling behaviour of the full recovery pipeline on Waxman WANs of
+//! increasing size (the paper motivates the PM heuristic with exactly this:
+//! "as the network size increases, the solution space could increase
+//! significantly").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_core::{FmssmInstance, Pm, RecoveryAlgorithm};
+use pm_sdwan::{ControllerId, Programmability, SdWan, SdWanBuilder};
+use pm_topo::builders::{waxman, WaxmanParams};
+use pm_topo::NodeId;
+use std::hint::black_box;
+
+fn build_net(nodes: usize) -> SdWan {
+    let g = waxman(&WaxmanParams {
+        nodes,
+        seed: 99,
+        ..Default::default()
+    })
+    .expect("waxman builds");
+    let ctrls = (nodes / 10).max(2);
+    let mut b = SdWanBuilder::new(g);
+    for c in 0..ctrls {
+        b = b.controller(NodeId(c * (nodes / ctrls)), u32::MAX / 4);
+    }
+    let probe = b.clone().build().expect("probe builds");
+    let max_load = (0..ctrls)
+        .map(|c| probe.controller_load(ControllerId(c)))
+        .max()
+        .unwrap_or(1);
+    let mut b = SdWanBuilder::new(probe.topology().clone());
+    for c in 0..ctrls {
+        b = b.controller(
+            NodeId(c * (nodes / ctrls)),
+            (max_load as f64 * 1.1) as u32 + 1,
+        );
+    }
+    b.build().expect("sized build")
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for &nodes in &[25usize, 50, 100] {
+        let net = build_net(nodes);
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&[ControllerId(0)]).expect("valid failure");
+
+        group.bench_with_input(
+            BenchmarkId::new("programmability_compute", nodes),
+            &net,
+            |b, net| b.iter(|| Programmability::compute(black_box(net))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pm_end_to_end", nodes),
+            &(&scenario, &prog),
+            |b, (scenario, prog)| {
+                b.iter(|| {
+                    let inst = FmssmInstance::new(black_box(scenario), black_box(prog));
+                    Pm::new().recover(&inst).expect("pm")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

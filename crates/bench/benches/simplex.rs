@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the MILP substrate: LP relaxations and
+//! full branch-and-bound solves, including the FMSSM root relaxation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_milp::{MilpSolver, Model, Sense, SimplexOptions, VarKind};
+use std::hint::black_box;
+
+/// A dense random-ish LP: maximize Σx subject to row sums, deterministic
+/// coefficients (no RNG needed).
+fn make_lp(vars: usize, rows: usize) -> Model {
+    let mut m = Model::new();
+    let xs: Vec<_> = (0..vars)
+        .map(|i| m.add_var(format!("x{i}"), VarKind::Continuous { lb: 0.0, ub: 10.0 }))
+        .collect();
+    for r in 0..rows {
+        let terms: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + ((i * 7 + r * 13) % 5) as f64))
+            .collect();
+        m.add_constraint(terms, Sense::Le, (vars * 2) as f64);
+    }
+    m.maximize(xs.iter().map(|&v| (v, 1.0)));
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp");
+    for &(vars, rows) in &[(20usize, 10usize), (100, 50), (400, 100)] {
+        let model = make_lp(vars, rows);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vars}v_{rows}c")),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    pm_milp::simplex::solve_relaxation(black_box(model), &SimplexOptions::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A correlated 0/1 knapsack that forces real branching.
+fn make_knapsack(items: usize) -> Model {
+    let mut m = Model::new();
+    let xs: Vec<_> = (0..items).map(|i| m.add_binary(format!("x{i}"))).collect();
+    let weights: Vec<f64> = (0..items).map(|i| 7.0 + ((i * 13) % 11) as f64).collect();
+    m.add_constraint(
+        xs.iter().zip(&weights).map(|(&v, &w)| (v, w)),
+        Sense::Le,
+        weights.iter().sum::<f64>() * 0.4,
+    );
+    m.maximize(xs.iter().zip(&weights).map(|(&v, &w)| (v, w + 0.1)));
+    m
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    group.sample_size(10);
+    for &items in &[10usize, 16] {
+        let model = make_knapsack(items);
+        group.bench_with_input(BenchmarkId::from_parameter(items), &model, |b, model| {
+            b.iter(|| MilpSolver::new().solve(black_box(model)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_bnb);
+criterion_main!(benches);

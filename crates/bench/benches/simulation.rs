@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the discrete-event control-plane simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_core::{FmssmInstance, Pm, RecoveryAlgorithm};
+use pm_sdwan::{ControllerId, FlowId, Programmability, SdWanBuilder};
+use pm_simctl::{RecoveryTiming, SimTime, Simulation};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+    let failed = [ControllerId(3), ControllerId(4)];
+    let scenario = net.fail(&failed).expect("valid failure");
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let plan = Pm::new().recover(&inst).expect("pm");
+
+    c.bench_function("sim_setup_600_flows", |b| {
+        b.iter(|| Simulation::new(black_box(&net)))
+    });
+
+    c.bench_function("sim_full_recovery_headline_case", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&net);
+            sim.schedule_failure(SimTime::from_ms(0.0), &failed);
+            sim.schedule_recovery(
+                SimTime::from_ms(10.0),
+                &scenario,
+                &plan,
+                RecoveryTiming::default(),
+            );
+            sim.run(SimTime::from_ms(600_000.0)).expect("runs")
+        })
+    });
+
+    c.bench_function("sim_mass_expiry_200_flows", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&net);
+            for l in 0..200 {
+                sim.schedule_flow_expiry(SimTime::from_ms(10.0), FlowId(l));
+            }
+            sim.run(SimTime::from_ms(600_000.0)).expect("runs")
+        })
+    });
+
+    c.bench_function("sim_walk_all_flows", |b| {
+        let sim = Simulation::new(&net);
+        b.iter(|| {
+            for l in 0..net.flows().len() {
+                let _ = black_box(sim.walk_flow(FlowId(l)).expect("deliverable"));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the graph substrate on the evaluation
+//! topology: shortest paths, loop-free path counting, programmability
+//! precomputation and network construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_sdwan::{Programmability, SdWanBuilder};
+use pm_topo::paths::{all_pairs, dijkstra, PathCounts};
+use pm_topo::{att, NodeId};
+use std::hint::black_box;
+
+fn bench_paths(c: &mut Criterion) {
+    let g = att::att_backbone();
+    c.bench_function("dijkstra_att", |b| {
+        b.iter(|| dijkstra(black_box(&g), NodeId(13)))
+    });
+    c.bench_function("all_pairs_att", |b| b.iter(|| all_pairs(black_box(&g))));
+    c.bench_function("path_counts_att", |b| {
+        b.iter(|| PathCounts::toward(black_box(&g), NodeId(13)))
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("att_paper_network_build", |b| {
+        b.iter(|| SdWanBuilder::att_paper_setup().build().expect("builds"))
+    });
+    let net = SdWanBuilder::att_paper_setup().build().expect("builds");
+    c.bench_function("programmability_compute_600_flows", |b| {
+        b.iter(|| Programmability::compute(black_box(&net)))
+    });
+}
+
+criterion_group!(benches, bench_paths, bench_network);
+criterion_main!(benches);

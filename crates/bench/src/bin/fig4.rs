@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 4: results of one controller failure
+//! (6 cases, panels a–d).
+//!
+//! Run: `cargo run --release -p pm-bench --bin fig4 [--opt-secs N] [--skip-optimal] [--csv DIR]`
+
+fn main() {
+    let opts = pm_bench::EvalOptions::from_args();
+    pm_bench::figures::run_failure_figure(1, "fig4", false, &opts);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 5: results of two controller failures
+//! (15 cases, panels a–f).
+//!
+//! Run: `cargo run --release -p pm-bench --bin fig5 [--opt-secs N] [--skip-optimal] [--csv DIR]`
+
+fn main() {
+    let opts = pm_bench::EvalOptions::from_args();
+    pm_bench::figures::run_failure_figure(2, "fig5", true, &opts);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Fig. 6: results of three controller failures
+//! (20 cases, panels a–f). Like the paper, the exact solver may fail to
+//! prove optimality within its budget in some cases — those cells are
+//! bracketed.
+//!
+//! Run: `cargo run --release -p pm-bench --bin fig6 [--opt-secs N] [--skip-optimal] [--csv DIR]`
+
+fn main() {
+    let opts = pm_bench::EvalOptions::from_args();
+    pm_bench::figures::run_failure_figure(3, "fig6", true, &opts);
+}

@@ -1,0 +1,75 @@
+//! Regenerates the paper's Fig. 7: PM's computation time as a percentage of
+//! Optimal's, for one/two/three controller failures.
+//!
+//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--csv DIR]`
+
+use pm_bench::harness::{run_case, EvalOptions};
+use pm_bench::report::{render_table, write_csv};
+use pm_bench::sweep::combinations;
+use pm_sdwan::{Programmability, SdWanBuilder};
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    if opts.skip_optimal {
+        eprintln!("fig7 compares against Optimal; --skip-optimal is not applicable");
+        std::process::exit(2);
+    }
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for k in 1..=3 {
+        let mut ratios = Vec::new();
+        for failed in combinations(net.controllers().len(), k) {
+            let case = run_case(&net, &prog, &failed, &opts);
+            let pm = case.run("PM").expect("PM always runs");
+            let optimal = case.run("Optimal").expect("Optimal requested");
+            let ratio = pm.elapsed.as_secs_f64() / optimal.elapsed.as_secs_f64().max(1e-9);
+            csv_rows.push(vec![
+                case.label.clone(),
+                format!("{:.6}", pm.elapsed.as_secs_f64()),
+                format!("{:.6}", optimal.elapsed.as_secs_f64()),
+                format!("{:.4}", ratio * 100.0),
+                optimal.proved_optimal.unwrap_or(false).to_string(),
+            ]);
+            ratios.push(ratio);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{k} failure(s)"),
+            format!("{:.3}%", mean * 100.0),
+            format!("{:.3}%", max * 100.0),
+            ratios.len().to_string(),
+        ]);
+    }
+    println!("fig7 — computation time of PM as % of Optimal (lower better)\n");
+    print!(
+        "{}",
+        render_table(
+            &["scenario", "mean PM/Optimal", "max PM/Optimal", "cases"],
+            &rows
+        )
+    );
+    println!(
+        "\n(the paper reports 2.54%, 1.77% and 2.18% on average; Optimal runs under a {:?} budget)",
+        opts.optimal_time_limit
+    );
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(
+            dir,
+            "fig7",
+            &[
+                "case",
+                "pm_secs",
+                "optimal_secs",
+                "pm_pct_of_optimal",
+                "proved_optimal",
+            ],
+            &csv_rows,
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's Table III: the default relationship between
+//! controllers, switches, and the number of flows in the switches under the
+//! ATT topology.
+//!
+//! Run: `cargo run -p pm-bench --bin table3 [--csv DIR]`
+
+use pm_bench::report::{render_table, write_csv};
+use pm_bench::EvalOptions;
+use pm_sdwan::{ControllerId, SdWanBuilder};
+use pm_topo::att::PAPER_FLOW_COUNTS;
+
+fn main() {
+    let opts = EvalOptions::from_args();
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+
+    println!("Table III: controllers, switches, and per-switch flow counts (ATT topology)");
+    println!("(\"ours\" = derived from the embedded ATT-like backbone; \"paper\" = Table III)\n");
+
+    let mut rows = Vec::new();
+    for c in 0..net.controllers().len() {
+        let cid = ControllerId(c);
+        let node = net.controllers()[c].node.index();
+        for s in net.domain_switches(cid) {
+            rows.push(vec![
+                format!("C{node}"),
+                format!("s{}", s.index()),
+                net.gamma(s).to_string(),
+                PAPER_FLOW_COUNTS[s.index()].to_string(),
+            ]);
+        }
+    }
+    let headers = ["controller", "switch", "flows (ours)", "flows (paper)"];
+    print!("{}", render_table(&headers, &rows));
+
+    println!();
+    let mut load_rows = Vec::new();
+    for c in 0..net.controllers().len() {
+        let cid = ControllerId(c);
+        let node = net.controllers()[c].node.index();
+        load_rows.push(vec![
+            format!("C{node}"),
+            net.controller_load(cid).to_string(),
+            net.controllers()[c].capacity.to_string(),
+            net.residual_capacity(cid).to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["controller", "load", "capacity", "residual A_j^rest"],
+            &load_rows
+        )
+    );
+
+    let ours: u32 = net.switches().map(|s| net.gamma(s)).sum();
+    let paper: u32 = PAPER_FLOW_COUNTS.iter().sum();
+    println!("\ntotal flow-at-switch count: ours {ours}, paper {paper}");
+    println!(
+        "hub switch s13: ours {} flows (max), paper 213 (max)",
+        net.gamma(pm_sdwan::SwitchId(13))
+    );
+
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "table3", &headers, &rows);
+    }
+}

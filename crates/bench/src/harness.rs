@@ -1,0 +1,224 @@
+//! Runs the four algorithms on failure cases and collects metrics.
+
+use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWan};
+use std::time::{Duration, Instant};
+
+/// Evaluation options shared by the figure binaries, parsed from the
+/// command line by [`EvalOptions::from_args`].
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Wall-clock budget per Optimal solve (`--opt-secs N`, default 20).
+    pub optimal_time_limit: Duration,
+    /// Skip the Optimal baseline entirely (`--skip-optimal`) — useful for
+    /// quick looks; PM/PG/RetroFlow run in milliseconds.
+    pub skip_optimal: bool,
+    /// Directory to write per-figure CSV files into (`--csv DIR`).
+    pub csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            optimal_time_limit: Duration::from_secs(20),
+            skip_optimal: false,
+            csv_dir: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Parses the common flags from `std::env::args`. Unknown flags abort
+    /// with a usage message.
+    pub fn from_args() -> Self {
+        let mut opts = EvalOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--opt-secs" => {
+                    let v = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--opt-secs needs an integer argument");
+                        std::process::exit(2);
+                    });
+                    opts.optimal_time_limit = Duration::from_secs(v);
+                }
+                "--skip-optimal" => opts.skip_optimal = true,
+                "--csv" => {
+                    let dir = args.next().unwrap_or_else(|| {
+                        eprintln!("--csv needs a directory argument");
+                        std::process::exit(2);
+                    });
+                    opts.csv_dir = Some(dir.into());
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--opt-secs N] [--skip-optimal] [--csv DIR]\n\
+                         regenerates one of the paper's evaluation artifacts"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// One algorithm's outcome on one failure case.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Algorithm display name.
+    pub name: &'static str,
+    /// All evaluation metrics.
+    pub metrics: PlanMetrics,
+    /// Wall-clock time of the recovery computation.
+    pub elapsed: Duration,
+    /// `Some(true)` when this is the exact solver and it proved optimality
+    /// within its budget; `Some(false)` when it returned a best-effort
+    /// incumbent; `None` for heuristics.
+    pub proved_optimal: Option<bool>,
+    /// Total control propagation delay of the plan (left side of Eq. (5)).
+    pub total_delay: f64,
+}
+
+/// All algorithm runs for one failure case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The failed controllers.
+    pub failed: Vec<ControllerId>,
+    /// Human-readable label using the controllers' node ids, e.g.
+    /// "(13,20)" — the paper labels cases this way.
+    pub label: String,
+    /// Per-algorithm outcomes, in a fixed order: RetroFlow, PM, PG
+    /// [, Optimal].
+    pub runs: Vec<AlgoRun>,
+}
+
+impl CaseResult {
+    /// The run for `name`, if present.
+    pub fn run(&self, name: &str) -> Option<&AlgoRun> {
+        self.runs.iter().find(|r| r.name == name)
+    }
+}
+
+/// Labels a failure case by the node ids of the failed controllers, the
+/// way the paper writes "(13, 20)".
+pub fn case_label(net: &SdWan, failed: &[ControllerId]) -> String {
+    let nodes: Vec<String> = failed
+        .iter()
+        .map(|&c| net.controllers()[c.index()].node.index().to_string())
+        .collect();
+    format!("({})", nodes.join(","))
+}
+
+/// Runs RetroFlow, PM, PG and (optionally) Optimal on one failure case.
+///
+/// # Panics
+///
+/// Panics if the failure scenario is invalid or an algorithm produces an
+/// invalid plan — both indicate bugs, not data errors.
+pub fn run_case(
+    net: &SdWan,
+    prog: &Programmability,
+    failed: &[ControllerId],
+    opts: &EvalOptions,
+) -> CaseResult {
+    let scenario = net.fail(failed).expect("valid failure case");
+    let inst = FmssmInstance::new(&scenario, prog);
+    let mut runs = Vec::new();
+
+    let heuristics: Vec<Box<dyn RecoveryAlgorithm>> = vec![
+        Box::new(RetroFlow::new()),
+        Box::new(Pm::new()),
+        Box::new(Pg::new()),
+    ];
+    for algo in &heuristics {
+        let start = Instant::now();
+        let plan = algo
+            .recover(&inst)
+            .expect("heuristics always produce a plan");
+        let elapsed = start.elapsed();
+        plan.validate(&scenario, prog, algo.is_flow_level())
+            .expect("plan must be valid");
+        let metrics = PlanMetrics::compute(&scenario, prog, &plan, algo.middle_layer_ms());
+        let total_delay = plan.total_control_delay(&scenario);
+        runs.push(AlgoRun {
+            name: algo.name(),
+            metrics,
+            elapsed,
+            proved_optimal: None,
+            total_delay,
+        });
+    }
+
+    if !opts.skip_optimal {
+        let solver = Optimal::new().time_limit(opts.optimal_time_limit);
+        let out = solver
+            .solve_detailed(&inst)
+            .expect("warm start guarantees an incumbent");
+        out.plan
+            .validate(&scenario, prog, false)
+            .expect("optimal plan must be valid");
+        let metrics = PlanMetrics::compute(&scenario, prog, &out.plan, 0.0);
+        let total_delay = out.plan.total_control_delay(&scenario);
+        runs.push(AlgoRun {
+            name: "Optimal",
+            metrics,
+            elapsed: out.elapsed,
+            proved_optimal: Some(out.proved_optimal()),
+            total_delay,
+        });
+    }
+
+    CaseResult {
+        failed: failed.to_vec(),
+        label: case_label(net, failed),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_sdwan::SdWanBuilder;
+
+    #[test]
+    fn runs_all_algorithms_on_a_case() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prog = Programmability::compute(&net);
+        let opts = EvalOptions {
+            optimal_time_limit: Duration::from_secs(2),
+            ..Default::default()
+        };
+        let case = run_case(&net, &prog, &[ControllerId(4)], &opts);
+        assert_eq!(case.runs.len(), 4);
+        assert!(case.run("PM").is_some());
+        assert!(case.run("Optimal").is_some());
+        assert_eq!(case.label, "(20)");
+    }
+
+    #[test]
+    fn skip_optimal_runs_three() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prog = Programmability::compute(&net);
+        let opts = EvalOptions {
+            skip_optimal: true,
+            ..Default::default()
+        };
+        let case = run_case(&net, &prog, &[ControllerId(0)], &opts);
+        assert_eq!(case.runs.len(), 3);
+        assert!(case.run("Optimal").is_none());
+    }
+
+    #[test]
+    fn label_uses_node_ids() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        assert_eq!(
+            case_label(&net, &[ControllerId(3), ControllerId(4)]),
+            "(13,20)"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation harness for the ProgrammabilityMedic reproduction.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (Section VI):
+//!
+//! | Binary   | Paper artifact | Content |
+//! |----------|----------------|---------|
+//! | `table3` | Table III      | controller domains and per-switch flow counts |
+//! | `fig4`   | Fig. 4(a–d)    | one controller failure, 6 cases |
+//! | `fig5`   | Fig. 5(a–f)    | two controller failures, 15 cases |
+//! | `fig6`   | Fig. 6(a–f)    | three controller failures, 20 cases |
+//! | `fig7`   | Fig. 7         | PM computation time as % of Optimal |
+//!
+//! This library holds the shared harness: enumerate failure cases, run the
+//! four algorithms, collect [`pm_sdwan::PlanMetrics`], and render aligned
+//! text tables (plus optional CSV files for plotting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod sweep;
+
+pub use harness::{AlgoRun, CaseResult, EvalOptions};
+pub use sweep::combinations;

@@ -1,0 +1,74 @@
+//! Failure-case enumeration: all k-subsets of the controller set.
+
+use pm_sdwan::ControllerId;
+
+/// All `k`-element combinations of `0..n` in lexicographic order, as
+/// controller id lists — the paper's "6 combinations" (k = 1),
+/// "15 combinations" (k = 2) and "20 combinations" (k = 3).
+///
+/// # Example
+///
+/// ```
+/// use pm_bench::combinations;
+/// assert_eq!(combinations(6, 1).len(), 6);
+/// assert_eq!(combinations(6, 2).len(), 15);
+/// assert_eq!(combinations(6, 3).len(), 20);
+/// ```
+pub fn combinations(n: usize, k: usize) -> Vec<Vec<ControllerId>> {
+    let mut out = Vec::new();
+    if k == 0 || k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| ControllerId(i)).collect());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomials() {
+        assert_eq!(combinations(6, 1).len(), 6);
+        assert_eq!(combinations(6, 2).len(), 15);
+        assert_eq!(combinations(6, 3).len(), 20);
+        assert_eq!(combinations(5, 5).len(), 1);
+        assert!(combinations(3, 4).is_empty());
+        assert!(combinations(3, 0).is_empty());
+    }
+
+    #[test]
+    fn lexicographic_and_unique() {
+        let all = combinations(6, 3);
+        let mut seen = std::collections::HashSet::new();
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "not ascending: {c:?}");
+            assert!(seen.insert(c.clone()), "duplicate: {c:?}");
+        }
+        assert_eq!(
+            all[0],
+            vec![ControllerId(0), ControllerId(1), ControllerId(2)]
+        );
+        assert_eq!(
+            all.last().unwrap(),
+            &vec![ControllerId(3), ControllerId(4), ControllerId(5)]
+        );
+    }
+}

@@ -1,0 +1,847 @@
+//! Library backing `pmctl`, the operator command-line tool of the
+//! ProgrammabilityMedic reproduction.
+//!
+//! Everything is testable without spawning a process: [`run`] takes argv
+//! and a writer, so the unit tests drive the exact code the binary runs.
+//!
+//! ```console
+//! pmctl topology                     # describe the evaluation network
+//! pmctl plan --fail 13,20            # compute a PM recovery plan
+//! pmctl plan --fail 13,20 --algo pg --out plan.txt
+//! pmctl check --fail 13,20 --plan plan.txt
+//! pmctl compare --fail 13,20        # all four algorithms side by side
+//! pmctl simulate --fail 13,20       # discrete-event recovery animation
+//! pmctl relieve --fail 13,20        # hotspot relief with the recovered programmability
+//! pmctl inspect --fail 13,20        # FMSSM instance diagnostics
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow, TwoStage};
+use pm_sdwan::{
+    place_controllers, ControllerId, PlacementStrategy, PlanMetrics, Programmability, RecoveryPlan,
+    SdWan, SdWanBuilder,
+};
+use pm_simctl::{RecoveryTiming, SimTime, Simulation};
+use std::io::Write;
+use std::time::Duration;
+
+/// A CLI failure: exit code plus message.
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code to use.
+    pub code: i32,
+    /// Message for stderr.
+    pub message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+const USAGE: &str = "\
+pmctl — ProgrammabilityMedic operator tool
+
+USAGE:
+  pmctl topology [network options]
+  pmctl plan     --fail N[,N..] [--algo pm|retroflow|pg|optimal|twostage]
+                 [--opt-secs S] [--out FILE] [--export-lp FILE]
+                 [network options]
+  pmctl check    --fail N[,N..] --plan FILE [network options]
+  pmctl compare  --fail N[,N..] [--opt-secs S] [network options]
+  pmctl simulate --fail N[,N..] [--algo ...] [--cascade] [network options]
+  pmctl relieve  --fail N[,N..] [--algo ...] [--moves M] [network options]
+  pmctl inspect  --fail N[,N..] [network options]
+
+Failed controllers are named by the node they sit at (the paper's
+convention): --fail 13,20 fails the controllers at nodes 13 and 20.
+
+network options (default: the paper's ATT setup):
+  --graphml FILE       load a Topology Zoo GraphML file
+  --controllers K      place K controllers by k-center (default 6)
+  --capacity C         per-controller capacity (default: auto-sized)
+";
+
+/// Parsed network selection.
+struct NetworkSpec {
+    graphml: Option<String>,
+    controllers: usize,
+    capacity: Option<u32>,
+}
+
+/// Runs the CLI against `args` (without the program name), writing human
+/// output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] carrying the exit code and message.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "topology" => cmd_topology(rest, out),
+        "plan" => cmd_plan(rest, out),
+        "check" => cmd_check(rest, out),
+        "compare" => cmd_compare(rest, out),
+        "simulate" => cmd_simulate(rest, out),
+        "relieve" => cmd_relieve(rest, out),
+        "inspect" => cmd_inspect(rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command {other}\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// Pulls `--flag value` out of `args`; returns the remaining args.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(CliError::usage(format!("{flag} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of `args`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_network(args: &mut Vec<String>) -> Result<NetworkSpec, CliError> {
+    let graphml = take_flag(args, "--graphml")?;
+    let controllers = match take_flag(args, "--controllers")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--controllers: bad number {v}")))?,
+        None => 6,
+    };
+    let capacity = match take_flag(args, "--capacity")? {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::usage(format!("--capacity: bad number {v}")))?,
+        ),
+        None => None,
+    };
+    Ok(NetworkSpec {
+        graphml,
+        controllers,
+        capacity,
+    })
+}
+
+fn build_network(spec: &NetworkSpec) -> Result<SdWan, CliError> {
+    match &spec.graphml {
+        None => SdWanBuilder::att_paper_setup()
+            .build()
+            .map_err(|e| CliError::runtime(format!("cannot build paper network: {e}"))),
+        Some(path) => {
+            let g = pm_topo::zoo::load_graphml_file(path)
+                .map_err(|e| CliError::runtime(format!("cannot load {path}: {e}")))?;
+            let sites = place_controllers(&g, spec.controllers, PlacementStrategy::KCenter)
+                .map_err(|e| CliError::runtime(format!("placement failed: {e}")))?;
+            // Auto-size capacity: probe loads, then add 10 % headroom.
+            let mut probe = SdWanBuilder::new(g.clone());
+            for &s in &sites {
+                probe = probe.controller(s, u32::MAX / 4);
+            }
+            let probe = probe
+                .build()
+                .map_err(|e| CliError::runtime(format!("cannot build network: {e}")))?;
+            let capacity = spec.capacity.unwrap_or_else(|| {
+                let max = (0..sites.len())
+                    .map(|c| probe.controller_load(ControllerId(c)))
+                    .max()
+                    .unwrap_or(1);
+                (max as f64 * 1.1) as u32 + 1
+            });
+            let mut b = SdWanBuilder::new(g);
+            for &s in &sites {
+                b = b.controller(s, capacity);
+            }
+            b.build()
+                .map_err(|e| CliError::runtime(format!("cannot build network: {e}")))
+        }
+    }
+}
+
+/// Parses `--fail 13,20` (node ids) into controller ids of `net`.
+fn parse_failures(net: &SdWan, args: &mut Vec<String>) -> Result<Vec<ControllerId>, CliError> {
+    let Some(spec) = take_flag(args, "--fail")? else {
+        return Err(CliError::usage("--fail is required (e.g. --fail 13,20)"));
+    };
+    let mut failed = Vec::new();
+    for token in spec.split(',') {
+        let node: usize = token
+            .trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("--fail: bad node id {token}")))?;
+        let ctrl = net
+            .controllers()
+            .iter()
+            .position(|c| c.node.index() == node)
+            .ok_or_else(|| {
+                let sites: Vec<usize> = net.controllers().iter().map(|c| c.node.index()).collect();
+                CliError::usage(format!(
+                    "no controller at node {node}; controllers sit at {sites:?}"
+                ))
+            })?;
+        failed.push(ControllerId(ctrl));
+    }
+    Ok(failed)
+}
+
+fn parse_algo(args: &mut Vec<String>) -> Result<String, CliError> {
+    Ok(take_flag(args, "--algo")?.unwrap_or_else(|| "pm".into()))
+}
+
+fn make_algo(name: &str, opt_secs: u64) -> Result<Box<dyn RecoveryAlgorithm>, CliError> {
+    match name {
+        "pm" => Ok(Box::new(Pm::new())),
+        "retroflow" => Ok(Box::new(RetroFlow::new())),
+        "pg" => Ok(Box::new(Pg::new())),
+        "optimal" => Ok(Box::new(
+            Optimal::new().time_limit(Duration::from_secs(opt_secs)),
+        )),
+        "twostage" => Ok(Box::new(
+            TwoStage::new().time_limit_per_stage(Duration::from_secs(opt_secs.max(1) / 2 + 1)),
+        )),
+        other => Err(CliError::usage(format!(
+            "unknown algorithm {other} (pm|retroflow|pg|optimal|twostage)"
+        ))),
+    }
+}
+
+fn parse_opt_secs(args: &mut Vec<String>) -> Result<u64, CliError> {
+    match take_flag(args, "--opt-secs")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--opt-secs: bad number {v}"))),
+        None => Ok(20),
+    }
+}
+
+fn ensure_consumed(args: &[String]) -> Result<(), CliError> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::usage(format!("unrecognized arguments: {args:?}")))
+    }
+}
+
+fn cmd_topology(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    ensure_consumed(&args)?;
+    let net = build_network(&spec)?;
+    let g = net.topology();
+    let _ = writeln!(
+        out,
+        "nodes: {}   undirected links: {}   directed links: {}",
+        g.node_count(),
+        g.edge_count(),
+        g.directed_edge_count()
+    );
+    let _ = writeln!(
+        out,
+        "flows: {} (all ordered pairs, shortest path)",
+        net.flows().len()
+    );
+    let _ = writeln!(out, "controllers:");
+    for (c, ctrl) in net.controllers().iter().enumerate() {
+        let cid = ControllerId(c);
+        let _ = writeln!(
+            out,
+            "  C{} at n{} ({}) — domain {:?}, load {}/{}",
+            c,
+            ctrl.node.index(),
+            g.node(ctrl.node).name,
+            net.domain_switches(cid)
+                .iter()
+                .map(|s| s.index())
+                .collect::<Vec<_>>(),
+            net.controller_load(cid),
+            ctrl.capacity
+        );
+    }
+    if let Some(stats) = pm_topo::metrics::graph_stats(g) {
+        let _ = writeln!(
+            out,
+            "degree: min {} / mean {:.1} / max {}; diameter {:.2} ms; \
+             mean path {:.2} ms ({:.2} hops)",
+            stats.min_degree,
+            stats.mean_degree,
+            stats.max_degree,
+            stats.diameter,
+            stats.mean_distance,
+            stats.mean_hops
+        );
+    }
+    let max_gamma = net.switches().map(|s| net.gamma(s)).max().unwrap_or(0);
+    let hub = net
+        .switches()
+        .find(|&s| net.gamma(s) == max_gamma)
+        .expect("nonempty");
+    let _ = writeln!(
+        out,
+        "busiest switch: s{} ({}) with {} flows",
+        hub.index(),
+        g.node(hub.node()).name,
+        max_gamma
+    );
+    Ok(())
+}
+
+fn print_metrics(out: &mut dyn Write, m: &PlanMetrics) {
+    let _ = writeln!(
+        out,
+        "recovered flows: {}/{} recoverable ({} offline total)",
+        m.recovered_flows, m.recoverable_flows, m.offline_flows
+    );
+    let _ = writeln!(
+        out,
+        "recovered switches: {}/{}",
+        m.recovered_switches, m.offline_switches
+    );
+    let _ = writeln!(out, "total programmability: {}", m.total_programmability);
+    let _ = writeln!(
+        out,
+        "least programmability (recoverable flows): {}",
+        m.min_programmability_recoverable()
+    );
+    let _ = writeln!(out, "per-flow overhead: {:.3} ms", m.per_flow_overhead_ms());
+    for u in &m.controller_usage {
+        let _ = writeln!(
+            out,
+            "  {} used {}/{} ({:.0}%)",
+            u.controller,
+            u.used,
+            u.available,
+            u.utilization() * 100.0
+        );
+    }
+}
+
+fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failed = parse_failures(&net, &mut args)?;
+    let algo_name = parse_algo(&mut args)?;
+    let opt_secs = parse_opt_secs(&mut args)?;
+    let out_file = take_flag(&mut args, "--out")?;
+    let lp_file = take_flag(&mut args, "--export-lp")?;
+    ensure_consumed(&args)?;
+
+    let algo = make_algo(&algo_name, opt_secs)?;
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&failed)
+        .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
+    let inst = FmssmInstance::new(&scenario, &prog);
+    if let Some(path) = lp_file {
+        let lp = Optimal::new().export_lp(&inst);
+        std::fs::write(&path, lp)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "FMSSM program P' written to {path} (CPLEX LP format)");
+    }
+    let plan = algo
+        .recover(&inst)
+        .map_err(|e| CliError::runtime(format!("{} failed: {e}", algo.name())))?;
+    plan.validate(&scenario, &prog, algo.is_flow_level())
+        .map_err(|e| CliError::runtime(format!("produced plan invalid: {e}")))?;
+    let metrics = PlanMetrics::compute(&scenario, &prog, &plan, algo.middle_layer_ms());
+    let _ = writeln!(out, "algorithm: {}", algo.name());
+    print_metrics(out, &metrics);
+    match out_file {
+        Some(path) => {
+            std::fs::write(&path, plan.to_text())
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "plan written to {path}");
+        }
+        None => {
+            let _ = writeln!(out, "--- plan ---\n{}", plan.to_text());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failed = parse_failures(&net, &mut args)?;
+    let Some(plan_file) = take_flag(&mut args, "--plan")? else {
+        return Err(CliError::usage("--plan FILE is required"));
+    };
+    ensure_consumed(&args)?;
+
+    let text = std::fs::read_to_string(&plan_file)
+        .map_err(|e| CliError::runtime(format!("cannot read {plan_file}: {e}")))?;
+    let plan = RecoveryPlan::from_text(&text)
+        .map_err(|e| CliError::runtime(format!("cannot parse {plan_file}: {e}")))?;
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&failed)
+        .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
+    // Accept flow-level plans: a switch-level plan also passes that check.
+    match plan.validate(&scenario, &prog, true) {
+        Ok(()) => {
+            let _ = writeln!(out, "plan is FEASIBLE for failure of {failed:?}");
+            let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+            print_metrics(out, &metrics);
+            Ok(())
+        }
+        Err(e) => Err(CliError::runtime(format!("plan is INFEASIBLE: {e}"))),
+    }
+}
+
+fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failed = parse_failures(&net, &mut args)?;
+    let opt_secs = parse_opt_secs(&mut args)?;
+    ensure_consumed(&args)?;
+
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&failed)
+        .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>9} {:>7} {:>9} {:>12}",
+        "algorithm", "flows", "switches", "min", "total", "overhead(ms)"
+    );
+    for name in ["retroflow", "pm", "pg", "optimal"] {
+        let algo = make_algo(name, opt_secs)?;
+        let plan = algo
+            .recover(&inst)
+            .map_err(|e| CliError::runtime(format!("{name} failed: {e}")))?;
+        let m = PlanMetrics::compute(&scenario, &prog, &plan, algo.middle_layer_ms());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>9} {:>7} {:>9} {:>12.3}",
+            algo.name(),
+            format!("{}/{}", m.recovered_flows, m.recoverable_flows),
+            format!("{}/{}", m.recovered_switches, m.offline_switches),
+            m.min_programmability_recoverable(),
+            m.total_programmability,
+            m.per_flow_overhead_ms()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failed = parse_failures(&net, &mut args)?;
+    let algo_name = parse_algo(&mut args)?;
+    let opt_secs = parse_opt_secs(&mut args)?;
+    let cascade = take_switch(&mut args, "--cascade");
+    ensure_consumed(&args)?;
+
+    let algo = make_algo(&algo_name, opt_secs)?;
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&failed)
+        .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let plan = algo
+        .recover(&inst)
+        .map_err(|e| CliError::runtime(format!("{} failed: {e}", algo.name())))?;
+
+    let mut sim = Simulation::new(&net);
+    if cascade {
+        sim.enable_cascade(pm_simctl::CascadeConfig {
+            delay: SimTime::from_ms(50.0),
+        });
+    }
+    sim.schedule_failure(SimTime::from_ms(100.0), &failed);
+    sim.schedule_recovery(
+        SimTime::from_ms(110.0),
+        &scenario,
+        &plan,
+        RecoveryTiming {
+            middle_layer_ms: algo.middle_layer_ms(),
+            ..Default::default()
+        },
+    );
+    let report = sim
+        .run(SimTime::from_ms(600_000.0))
+        .map_err(|e| CliError::runtime(format!("simulation failed: {e}")))?;
+    let _ = writeln!(out, "algorithm: {}", algo.name());
+    let _ = writeln!(
+        out,
+        "messages: {} role handshakes + {} FlowMods = {} total",
+        report.role_requests_sent,
+        report.flow_mods_sent,
+        report.total_messages()
+    );
+    if let (Some(sw), Some(fl), Some(worst)) = (
+        report.mean_switch_recovery_ms(),
+        report.mean_flow_recovery_ms(),
+        report.max_flow_recovery_ms(),
+    ) {
+        let _ = writeln!(out, "mean switch re-control: {sw:.2} ms after failure");
+        let _ = writeln!(
+            out,
+            "mean flow re-programmability: {fl:.2} ms after failure"
+        );
+        let _ = writeln!(out, "slowest flow: {worst:.2} ms after failure");
+    }
+    let _ = writeln!(
+        out,
+        "data plane continuous: {}",
+        report.all_flows_deliverable
+    );
+    if !report.cascaded_controllers.is_empty() {
+        let _ = writeln!(
+            out,
+            "CASCADED CONTROLLERS: {:?}",
+            report.cascaded_controllers
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failed = parse_failures(&net, &mut args)?;
+    ensure_consumed(&args)?;
+
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&failed)
+        .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let _ = writeln!(
+        out,
+        "FMSSM instance for failure of {:?}:",
+        failed
+            .iter()
+            .map(|c| net.controllers()[c.index()].node.index())
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        out,
+        "  offline switches N = {}   active controllers M = {}   offline flows L = {}",
+        inst.switches().len(),
+        inst.controllers().len(),
+        inst.flows().len()
+    );
+    let recoverable = inst.recoverable_flow_count();
+    let entries: usize = (0..inst.flows().len())
+        .map(|lp| inst.flow_entries(lp).len())
+        .sum();
+    let capacity: u32 = inst.residuals().iter().sum();
+    let _ = writeln!(
+        out,
+        "  recoverable flows: {recoverable} ({} structurally hopeless)",
+        inst.flows().len() - recoverable
+    );
+    let _ = writeln!(
+        out,
+        "  (switch, flow) β=1 entries: {entries}   total residual capacity: {capacity}"
+    );
+    let _ = writeln!(
+        out,
+        "  capacity / recoverable ratio: {:.2}   TOTAL_ITERATIONS: {}   λ: {:.3e}",
+        capacity as f64 / recoverable.max(1) as f64,
+        inst.total_iterations(),
+        inst.lambda()
+    );
+    let _ = writeln!(
+        out,
+        "  ideal-recovery delay bound G: {:.1} flow·ms",
+        inst.ideal_delay_g()
+    );
+    for (jp, &c) in inst.controllers().iter().enumerate() {
+        let node = net.controllers()[c.index()].node;
+        let _ = writeln!(
+            out,
+            "  {} at n{} ({}): residual {}",
+            c,
+            node.index(),
+            net.topology().node(node).name,
+            inst.residuals()[jp]
+        );
+    }
+    // The headline diagnostic: can any single controller absorb the
+    // costliest offline switch whole?
+    if let Some((ip, &s)) = inst
+        .switches()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(ip, _)| inst.gamma(ip))
+    {
+        let g = inst.gamma(ip);
+        let absorbable = inst.residuals().iter().any(|&r| r >= g);
+        let _ = writeln!(
+            out,
+            "  costliest offline switch: {s} (γ = {g}) — whole-switch remap {}",
+            if absorbable {
+                "POSSIBLE"
+            } else {
+                "IMPOSSIBLE (per-flow recovery required)"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_relieve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failed = parse_failures(&net, &mut args)?;
+    let algo_name = parse_algo(&mut args)?;
+    let opt_secs = parse_opt_secs(&mut args)?;
+    let max_moves = match take_flag(&mut args, "--moves")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--moves: bad number {v}")))?,
+        None => 16,
+    };
+    ensure_consumed(&args)?;
+
+    let algo = make_algo(&algo_name, opt_secs)?;
+    let prog = Programmability::compute(&net);
+    let scenario = net
+        .fail(&failed)
+        .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let plan = algo
+        .recover(&inst)
+        .map_err(|e| CliError::runtime(format!("{} failed: {e}", algo.name())))?;
+
+    // Gravity traffic sized so the hottest link starts near 80 % of an
+    // arbitrary capacity unit.
+    let tm = pm_sdwan::TrafficMatrix::gravity(&net, 10_000.0);
+    let base = pm_sdwan::LinkLoads::compute(&net, &tm, &Default::default());
+    let capacity = base.max_link().map(|(_, l)| l / 0.8).unwrap_or(1.0);
+    let report = pm_core::relieve_hotspots(&scenario, &prog, &plan, &tm, capacity, max_moves)
+        .map_err(|e| CliError::runtime(format!("relief failed: {e}")))?;
+    let _ = writeln!(out, "algorithm: {}", algo.name());
+    let _ = writeln!(
+        out,
+        "max utilization: {:.1}% -> {:.1}% ({:.1}% relief) with {} reroutes",
+        report.initial_utilization * 100.0,
+        report.final_utilization * 100.0,
+        report.relief() * 100.0,
+        report.moves.len()
+    );
+    for m in &report.moves {
+        let _ = writeln!(
+            out,
+            "  move {} at {} -> next hop {}",
+            m.flow, m.at, m.new_next_hop
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect_err("command fails")
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_ok(&["help"]);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn no_command_is_usage_error() {
+        let e = run_err(&[]);
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let e = run_err(&["frobnicate"]);
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn topology_describes_paper_network() {
+        let text = run_ok(&["topology"]);
+        assert!(text.contains("nodes: 25"));
+        assert!(text.contains("directed links: 112"));
+        assert!(text.contains("busiest switch: s13"));
+    }
+
+    #[test]
+    fn plan_pm_on_headline_case() {
+        let text = run_ok(&["plan", "--fail", "13,20"]);
+        assert!(text.contains("algorithm: PM"));
+        assert!(text.contains("recovered flows:"));
+        assert!(text.contains("map s13"));
+    }
+
+    #[test]
+    fn plan_save_and_check_roundtrip() {
+        let dir = std::env::temp_dir().join("pmctl_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("plan.txt");
+        let path_str = path.to_str().unwrap();
+        let text = run_ok(&["plan", "--fail", "13", "--out", path_str]);
+        assert!(text.contains("plan written"));
+        let check = run_ok(&["check", "--fail", "13", "--plan", path_str]);
+        assert!(check.contains("FEASIBLE"));
+        // Checking against the wrong failure set must fail.
+        let err = run_err(&["check", "--fail", "20", "--plan", path_str]);
+        assert!(err.message.contains("INFEASIBLE"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_lists_all_algorithms() {
+        let text = run_ok(&["compare", "--fail", "13,20", "--opt-secs", "1"]);
+        for name in ["RetroFlow", "PM", "PG", "Optimal"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn simulate_reports_messages() {
+        let text = run_ok(&["simulate", "--fail", "13"]);
+        assert!(text.contains("role handshakes"));
+        assert!(text.contains("data plane continuous: true"));
+    }
+
+    #[test]
+    fn inspect_shows_instance_shape() {
+        let text = run_ok(&["inspect", "--fail", "13,20"]);
+        assert!(text.contains("offline switches N = 7"), "{text}");
+        assert!(
+            text.contains("IMPOSSIBLE"),
+            "headline case must flag the hub: {text}"
+        );
+        let easy = run_ok(&["inspect", "--fail", "20"]);
+        assert!(easy.contains("POSSIBLE"), "{easy}");
+    }
+
+    #[test]
+    fn relieve_reports_utilization() {
+        let text = run_ok(&["relieve", "--fail", "13,20", "--moves", "4"]);
+        assert!(text.contains("max utilization"), "{text}");
+        assert!(text.contains("relief"));
+    }
+
+    #[test]
+    fn fail_by_unknown_node_is_usage_error() {
+        let e = run_err(&["plan", "--fail", "99"]);
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("no controller at node 99"));
+    }
+
+    #[test]
+    fn unconsumed_args_rejected() {
+        let e = run_err(&["topology", "--bogus"]);
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn plan_exports_lp() {
+        let dir = std::env::temp_dir().join("pmctl_lp_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("p_prime.lp");
+        let path_str = path.to_str().unwrap();
+        let text = run_ok(&["plan", "--fail", "20", "--export-lp", path_str]);
+        assert!(text.contains("CPLEX LP format"));
+        let lp = std::fs::read_to_string(&path).unwrap();
+        assert!(lp.contains("Maximize") && lp.contains("General"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graphml_network_flows_through_cli() {
+        // Export the embedded backbone, load it back through --graphml with
+        // k-center placement, and plan a recovery on it.
+        let dir = std::env::temp_dir().join("pmctl_graphml_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("net.graphml");
+        std::fs::write(
+            &path,
+            pm_topo::zoo::to_graphml(&pm_topo::att::att_backbone()),
+        )
+        .unwrap();
+        let path_str = path.to_str().unwrap();
+        let topo = run_ok(&["topology", "--graphml", path_str, "--controllers", "4"]);
+        assert!(topo.contains("nodes: 25"), "{topo}");
+        // Controllers sit wherever k-center puts them; read one site back
+        // out of the listing to drive a failure.
+        let site = topo
+            .lines()
+            .find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("C0 at n")
+                    .and_then(|rest| rest.split_whitespace().next().map(|s| s.to_string()))
+            })
+            .expect("controller listing");
+        let plan = run_ok(&[
+            "plan",
+            "--graphml",
+            path_str,
+            "--controllers",
+            "4",
+            "--fail",
+            &site,
+        ]);
+        assert!(plan.contains("recovered flows"), "{plan}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_algo_rejected() {
+        let e = run_err(&["plan", "--fail", "13", "--algo", "magic"]);
+        assert!(e.message.contains("unknown algorithm"));
+    }
+}

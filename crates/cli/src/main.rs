@@ -1,0 +1,10 @@
+//! `pmctl` — see [`pm_cli`] for the command set.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = pm_cli::run(&args, &mut stdout) {
+        eprintln!("{}", e.message);
+        std::process::exit(e.code);
+    }
+}

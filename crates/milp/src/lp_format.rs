@@ -1,0 +1,165 @@
+//! Export models in the CPLEX LP file format.
+//!
+//! Lets users dump any [`Model`] — including the FMSSM program P′ — and
+//! feed it to an external solver (GUROBI, CPLEX, HiGHS, SCIP all read this
+//! format), to cross-check our branch and bound or push past its limits.
+
+use crate::model::{Model, Sense, Var, VarKind};
+use std::fmt::Write as _;
+
+/// Renders `model` in LP format.
+///
+/// # Example
+///
+/// ```
+/// use pm_milp::{to_lp_string, Model, Sense};
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// m.add_constraint([(x, 2.0)], Sense::Le, 1.0);
+/// m.maximize([(x, 1.0)]);
+/// let lp = to_lp_string(&m);
+/// assert!(lp.starts_with("\\ Exported by pm-milp"));
+/// ```
+///
+/// Variables are named `x0, x1, …` by index (LP format forbids many
+/// characters that user-facing names may contain); a comment block at the
+/// top maps indices to the model's own names.
+pub fn to_lp_string(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\\ Exported by pm-milp ({} vars, {} constraints)",
+        model.var_count(),
+        model.constraint_count()
+    );
+    for i in 0..model.var_count() {
+        let name = model.name(Var(i));
+        if name != format!("x{i}") {
+            let _ = writeln!(out, "\\ x{i} = {name}");
+        }
+    }
+
+    let term_string = |terms: &[(Var, f64)]| -> String {
+        if terms.is_empty() {
+            return "0 x0".into(); // LP format needs at least one term
+        }
+        let mut s = String::new();
+        for (k, &(v, c)) in terms.iter().enumerate() {
+            if k == 0 {
+                let _ = write!(s, "{c} x{}", v.index());
+            } else if c >= 0.0 {
+                let _ = write!(s, " + {c} x{}", v.index());
+            } else {
+                let _ = write!(s, " - {} x{}", -c, v.index());
+            }
+        }
+        s
+    };
+
+    let obj: Vec<(Var, f64)> = model.objective_terms().copied().collect();
+    let _ = writeln!(out, "Maximize\n obj: {}", term_string(&obj));
+
+    let _ = writeln!(out, "Subject To");
+    for (i, con) in model.constraints().enumerate() {
+        let op = match con.sense {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        };
+        let _ = writeln!(out, " c{i}: {} {op} {}", term_string(&con.terms), con.rhs);
+    }
+
+    let _ = writeln!(out, "Bounds");
+    for i in 0..model.var_count() {
+        let (lb, ub) = model.bounds(Var(i));
+        if ub.is_finite() {
+            let _ = writeln!(out, " {lb} <= x{i} <= {ub}");
+        } else {
+            let _ = writeln!(out, " x{i} >= {lb}");
+        }
+    }
+
+    let integers: Vec<String> = (0..model.var_count())
+        .filter(|&i| {
+            matches!(
+                model.kind_of(Var(i)),
+                VarKind::Integer { .. } | VarKind::Binary
+            )
+        })
+        .map(|i| format!("x{i}"))
+        .collect();
+    if !integers.is_empty() {
+        let _ = writeln!(out, "General\n {}", integers.join(" "));
+    }
+    let _ = writeln!(out, "End");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Model {
+        let mut m = Model::new();
+        let x = m.add_binary("take_item");
+        let y = m.add_var(
+            "amount",
+            VarKind::Continuous {
+                lb: 0.5,
+                ub: f64::INFINITY,
+            },
+        );
+        m.add_constraint([(x, 3.0), (y, -1.5)], Sense::Le, 7.0);
+        m.add_constraint([(y, 1.0)], Sense::Ge, 1.0);
+        m.maximize([(x, 4.0), (y, 1.0)]);
+        m
+    }
+
+    #[test]
+    fn sections_present() {
+        let lp = to_lp_string(&sample());
+        for section in ["Maximize", "Subject To", "Bounds", "General", "End"] {
+            assert!(lp.contains(section), "missing {section} in:\n{lp}");
+        }
+    }
+
+    #[test]
+    fn negative_coefficients_use_minus() {
+        let lp = to_lp_string(&sample());
+        assert!(lp.contains("3 x0 - 1.5 x1 <= 7"), "{lp}");
+    }
+
+    #[test]
+    fn name_map_in_comments() {
+        let lp = to_lp_string(&sample());
+        assert!(lp.contains("\\ x0 = take_item"));
+        assert!(lp.contains("\\ x1 = amount"));
+    }
+
+    #[test]
+    fn unbounded_vars_get_one_sided_bounds() {
+        let lp = to_lp_string(&sample());
+        assert!(lp.contains("x1 >= 0.5"));
+        assert!(lp.contains("0 <= x0 <= 1"));
+    }
+
+    #[test]
+    fn binary_listed_as_general_with_bounds() {
+        // Binary shows under General (with 0..1 bounds above) — accepted by
+        // all LP-format readers.
+        let lp = to_lp_string(&sample());
+        assert!(lp.contains("General\n x0"));
+    }
+
+    #[test]
+    fn fmssm_model_exports() {
+        // Smoke test on a real FMSSM-shaped model: constant columns and
+        // hundreds of terms must not panic and must keep one line per row.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..50).map(|i| m.add_binary(format!("w{i}"))).collect();
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Le, 10.0);
+        m.maximize(vars.iter().map(|&v| (v, 1.0)));
+        let lp = to_lp_string(&m);
+        assert_eq!(lp.matches(" c0:").count(), 1);
+    }
+}

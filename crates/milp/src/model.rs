@@ -1,0 +1,443 @@
+//! Model construction: variables, linear constraints and an objective.
+
+use std::fmt;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Dense index of the variable in its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The kind (domain) of a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// Continuous in `[lb, ub]` (`ub` may be `f64::INFINITY`).
+    Continuous {
+        /// Lower bound; must be finite.
+        lb: f64,
+        /// Upper bound; may be infinite.
+        ub: f64,
+    },
+    /// Integer in `[lb, ub]`.
+    Integer {
+        /// Lower bound (finite).
+        lb: f64,
+        /// Upper bound (finite — branch and bound requires bounded integers).
+        ub: f64,
+    },
+    /// Binary, i.e. integer in `{0, 1}`.
+    Binary,
+}
+
+impl VarKind {
+    /// Convenience for a non-negative continuous variable.
+    pub fn non_negative() -> Self {
+        VarKind::Continuous {
+            lb: 0.0,
+            ub: f64::INFINITY,
+        }
+    }
+
+    pub(crate) fn bounds(&self) -> (f64, f64) {
+        match *self {
+            VarKind::Continuous { lb, ub } | VarKind::Integer { lb, ub } => (lb, ub),
+            VarKind::Binary => (0.0, 1.0),
+        }
+    }
+
+    pub(crate) fn is_integral(&self) -> bool {
+        matches!(self, VarKind::Integer { .. } | VarKind::Binary)
+    }
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        })
+    }
+}
+
+/// A linear constraint `Σ coef · var  (sense)  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse terms; duplicate variables are summed during standardization.
+    pub terms: Vec<(Var, f64)>,
+    /// Constraint sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Errors detected while building or checking a model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A coefficient, bound or right-hand side was NaN/infinite where a
+    /// finite value is required.
+    NonFinite {
+        /// Where the bad number appeared.
+        context: &'static str,
+    },
+    /// A variable's lower bound exceeds its upper bound.
+    EmptyDomain {
+        /// The offending variable.
+        var: usize,
+    },
+    /// A variable handle belongs to a different model (index out of range).
+    UnknownVar {
+        /// The offending variable index.
+        var: usize,
+    },
+    /// The model has no objective set.
+    NoObjective,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonFinite { context } => write!(f, "non-finite value in {context}"),
+            ModelError::EmptyDomain { var } => write!(f, "variable x{var} has lb > ub"),
+            ModelError::UnknownVar { var } => write!(f, "variable x{var} out of range"),
+            ModelError::NoObjective => write!(f, "model has no objective"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A feasible assignment to a model's variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Objective value (in the model's maximization orientation).
+    pub objective: f64,
+    /// One value per variable, indexed by [`Var::index`].
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// The value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the model this solution solves.
+    pub fn value(&self, v: Var) -> f64 {
+        self.values[v.0]
+    }
+}
+
+/// A mixed-integer linear program in maximization orientation.
+///
+/// Build with [`Model::add_var`] / [`Model::add_constraint`] /
+/// [`Model::maximize`], then hand to [`crate::MilpSolver`] (or
+/// [`crate::simplex::solve_relaxation`] for the LP bound).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Model {
+    pub(crate) kinds: Vec<VarKind>,
+    pub(crate) names: Vec<String>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Vec<(Var, f64)>,
+    has_objective: bool,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bound is NaN, a lower bound is not finite, or `lb > ub`.
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> Var {
+        let (lb, ub) = kind.bounds();
+        assert!(lb.is_finite(), "lower bound must be finite");
+        assert!(!ub.is_nan(), "upper bound must not be NaN");
+        assert!(lb <= ub, "lb {lb} > ub {ub}");
+        if let VarKind::Integer { ub, .. } = kind {
+            assert!(
+                ub.is_finite(),
+                "integer variables must have finite upper bounds"
+            );
+        }
+        let v = Var(self.kinds.len());
+        self.kinds.push(kind);
+        self.names.push(name.into());
+        v
+    }
+
+    /// Adds a binary variable (shorthand).
+    pub fn add_binary(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name, VarKind::Binary)
+    }
+
+    /// Adds a constraint `Σ terms (sense) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient or the rhs is not finite, or a variable does
+    /// not belong to this model.
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (Var, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) {
+        let terms: Vec<(Var, f64)> = terms.into_iter().collect();
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        for &(v, c) in &terms {
+            assert!(v.0 < self.kinds.len(), "variable {v} out of range");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+        }
+        self.constraints.push(Constraint { terms, sense, rhs });
+    }
+
+    /// Sets the objective to maximize `Σ terms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Model::add_constraint`].
+    pub fn maximize(&mut self, terms: impl IntoIterator<Item = (Var, f64)>) {
+        let terms: Vec<(Var, f64)> = terms.into_iter().collect();
+        for &(v, c) in &terms {
+            assert!(v.0 < self.kinds.len(), "variable {v} out of range");
+            assert!(c.is_finite(), "objective coefficient must be finite");
+        }
+        self.objective = terms;
+        self.has_objective = true;
+    }
+
+    /// Sets the objective to minimize `Σ terms` (negated internally).
+    ///
+    /// The solver always reports the objective in maximization orientation,
+    /// so the reported value is `-(minimized value)`.
+    pub fn minimize(&mut self, terms: impl IntoIterator<Item = (Var, f64)>) {
+        let negated: Vec<(Var, f64)> = terms.into_iter().map(|(v, c)| (v, -c)).collect();
+        self.maximize(negated);
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Iterator over the indices of integral (integer/binary) variables.
+    pub fn integral_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_integral())
+            .map(|(i, _)| Var(i))
+    }
+
+    /// The bounds of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn bounds(&self, v: Var) -> (f64, f64) {
+        self.kinds[v.0].bounds()
+    }
+
+    /// The kind (domain) of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn kind_of(&self, v: Var) -> VarKind {
+        self.kinds[v.0]
+    }
+
+    /// Iterator over the constraints.
+    pub fn constraints(&self) -> impl ExactSizeIterator<Item = &Constraint> + '_ {
+        self.constraints.iter()
+    }
+
+    /// Iterator over the objective terms.
+    pub fn objective_terms(&self) -> impl ExactSizeIterator<Item = &(Var, f64)> + '_ {
+        self.objective.iter()
+    }
+
+    /// The name of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.0]
+    }
+
+    /// `true` once an objective has been set.
+    pub fn has_objective(&self) -> bool {
+        self.has_objective
+    }
+
+    /// Evaluates the objective at `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the variable count.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.var_count());
+        self.objective.iter().map(|&(v, c)| c * values[v.0]).sum()
+    }
+
+    /// Checks whether `values` is feasible for every constraint, bound and
+    /// integrality requirement, within tolerance `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        self.violation(values, tol).is_none()
+    }
+
+    /// Returns a human-readable description of the first violated
+    /// requirement, or `None` if `values` is feasible within `tol`.
+    pub fn violation(&self, values: &[f64], tol: f64) -> Option<String> {
+        if values.len() != self.var_count() {
+            return Some(format!(
+                "value vector has length {}, expected {}",
+                values.len(),
+                self.var_count()
+            ));
+        }
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let (lb, ub) = kind.bounds();
+            let x = values[i];
+            if x < lb - tol || x > ub + tol {
+                return Some(format!("x{i} = {x} outside [{lb}, {ub}]"));
+            }
+            if kind.is_integral() && (x - x.round()).abs() > tol {
+                return Some(format!("x{i} = {x} not integral"));
+            }
+        }
+        for (ci, con) in self.constraints.iter().enumerate() {
+            let lhs: f64 = con.terms.iter().map(|&(v, c)| c * values[v.0]).sum();
+            let ok = match con.sense {
+                Sense::Le => lhs <= con.rhs + tol,
+                Sense::Ge => lhs >= con.rhs - tol,
+                Sense::Eq => (lhs - con.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(format!("constraint {ci}: {lhs} {} {}", con.sense, con.rhs));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::non_negative());
+        let y = m.add_binary("y");
+        m.add_constraint([(x, 1.0), (y, 2.0)], Sense::Le, 3.0);
+        m.maximize([(x, 1.0)]);
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.constraint_count(), 1);
+        assert_eq!(m.bounds(y), (0.0, 1.0));
+        assert_eq!(m.name(x), "x");
+        assert!(m.has_objective());
+        assert_eq!(m.integral_vars().collect::<Vec<_>>(), vec![y]);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::non_negative());
+        let y = m.add_binary("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 2.0);
+        m.add_constraint([(x, 1.0)], Sense::Ge, 0.5);
+        m.maximize([(x, 1.0)]);
+        assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[3.0, 0.0], 1e-9), "violates <=");
+        assert!(!m.is_feasible(&[0.0, 0.0], 1e-9), "violates >=");
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9), "y not integral");
+        assert!(!m.is_feasible(&[-0.5, 0.0], 1e-9), "x below lb");
+        assert!(m.violation(&[1.0, 1.0], 1e-9).is_none());
+        assert!(m
+            .violation(&[3.0, 0.0], 1e-9)
+            .unwrap()
+            .contains("constraint 0"));
+    }
+
+    #[test]
+    fn minimize_negates() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 5.0 });
+        m.minimize([(x, 2.0)]);
+        assert_eq!(m.objective_value(&[3.0]), -6.0);
+    }
+
+    #[test]
+    fn objective_value_eval() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::non_negative());
+        let y = m.add_var("y", VarKind::non_negative());
+        m.maximize([(x, 2.0), (y, 3.0)]);
+        assert_eq!(m.objective_value(&[1.0, 2.0]), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_coefficient() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::non_negative());
+        m.add_constraint([(x, f64::NAN)], Sense::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_foreign_var() {
+        let mut m1 = Model::new();
+        let mut m2 = Model::new();
+        let _ = m2.add_var("a", VarKind::non_negative());
+        let b = m2.add_var("b", VarKind::non_negative());
+        m1.add_constraint([(b, 1.0)], Sense::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite upper")]
+    fn rejects_unbounded_integer() {
+        let mut m = Model::new();
+        m.add_var(
+            "x",
+            VarKind::Integer {
+                lb: 0.0,
+                ub: f64::INFINITY,
+            },
+        );
+    }
+}

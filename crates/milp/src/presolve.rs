@@ -1,0 +1,384 @@
+//! Presolve: cheap model reductions applied before the simplex/branch and
+//! bound, with a mapping back to the original variable space.
+//!
+//! Implemented reductions (standard MILP presolve, kept deliberately
+//! conservative so feasibility and optimality are preserved exactly):
+//!
+//! 1. **Fixed variables** (`lb == ub`): substituted into every constraint
+//!    and the objective.
+//! 2. **Empty constraints**: dropped after substitution; an infeasible
+//!    empty constraint (e.g. `0 ≤ -3`) proves the model infeasible.
+//! 3. **Singleton constraints** (one variable): turned into bound
+//!    tightenings; a crossed domain proves infeasibility. Integral
+//!    variables get their bounds rounded inward.
+//!
+//! Reductions iterate to a fixed point (a singleton may fix a variable,
+//! which may empty another row, …).
+
+use crate::model::{Model, Sense, VarKind};
+
+/// Result of presolving a model.
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// The model was proven infeasible during presolve.
+    Infeasible,
+    /// A reduced model plus the recipe to reconstruct full solutions.
+    Reduced(Reduction),
+}
+
+/// A reduced model and the mapping back to the original space.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced model (over the kept variables, densely re-indexed).
+    pub model: Model,
+    /// For each original variable: `Ok(new index)` if kept, `Err(value)`
+    /// if fixed by presolve.
+    mapping: Vec<Result<usize, f64>>,
+    /// Original variable count.
+    original_vars: usize,
+}
+
+impl Reduction {
+    /// Number of variables eliminated.
+    pub fn eliminated_vars(&self) -> usize {
+        self.mapping.iter().filter(|m| m.is_err()).count()
+    }
+
+    /// How original variable `i` maps: `Ok(reduced index)` or the fixed
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn variable_mapping(&self, i: usize) -> Result<usize, f64> {
+        self.mapping[i]
+    }
+
+    /// Projects an original-space point into the reduced space; `None` if
+    /// it contradicts a presolve fixing (not representable).
+    pub fn project(&self, original: &[f64]) -> Option<Vec<f64>> {
+        if original.len() != self.original_vars {
+            return None;
+        }
+        let mut reduced = vec![0.0; self.model.var_count()];
+        for (i, &v) in original.iter().enumerate() {
+            match self.mapping[i] {
+                Ok(j) => reduced[j] = v,
+                Err(fixed) => {
+                    if (v - fixed).abs() > 1e-6 {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(reduced)
+    }
+
+    /// Lifts a solution of the reduced model back to the original space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced_values` does not match the reduced model's
+    /// variable count.
+    pub fn lift(&self, reduced_values: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced_values.len(), self.model.var_count());
+        (0..self.original_vars)
+            .map(|i| match self.mapping[i] {
+                Ok(j) => reduced_values[j],
+                Err(v) => v,
+            })
+            .collect()
+    }
+}
+
+/// A constraint row under reduction: sparse terms, sense and rhs.
+type Row = (Vec<(usize, f64)>, Sense, f64);
+
+/// Runs presolve on `model`.
+///
+/// # Example
+///
+/// ```
+/// use pm_milp::{presolve, Model, Presolved, Sense, VarKind};
+/// let mut m = Model::new();
+/// let fixed = m.add_var("f", VarKind::Continuous { lb: 2.0, ub: 2.0 });
+/// let x = m.add_var("x", VarKind::non_negative());
+/// m.add_constraint([(fixed, 1.0), (x, 1.0)], Sense::Le, 5.0);
+/// m.maximize([(x, 1.0)]);
+/// let Presolved::Reduced(r) = presolve(&m) else { unreachable!() };
+/// assert_eq!(r.eliminated_vars(), 1); // `f` substituted out
+/// ```
+pub fn presolve(model: &Model) -> Presolved {
+    let n = model.var_count();
+    let mut lb = Vec::with_capacity(n);
+    let mut ub = Vec::with_capacity(n);
+    let mut integral = Vec::with_capacity(n);
+    for i in 0..n {
+        let (l, u) = model.bounds(crate::Var(i));
+        lb.push(l);
+        ub.push(u);
+        integral.push(matches!(
+            model.kind_of(crate::Var(i)),
+            VarKind::Integer { .. } | VarKind::Binary
+        ));
+    }
+    // Constraint rows as (terms, sense, rhs); dropped rows become None.
+    let mut rows: Vec<Option<Row>> = model
+        .constraints()
+        .map(|c| {
+            // Merge duplicate variables up front.
+            let mut acc: std::collections::BTreeMap<usize, f64> = Default::default();
+            for &(v, coef) in &c.terms {
+                *acc.entry(v.index()).or_insert(0.0) += coef;
+            }
+            let terms: Vec<(usize, f64)> =
+                acc.into_iter().filter(|&(_, coef)| coef != 0.0).collect();
+            Some((terms, c.sense, c.rhs))
+        })
+        .collect();
+
+    const TOL: f64 = 1e-9;
+    loop {
+        let mut changed = false;
+        for slot in rows.iter_mut() {
+            let Some((terms, sense, rhs)) = slot.as_mut() else {
+                continue;
+            };
+            // Substitute fixed variables.
+            terms.retain(|&(v, coef)| {
+                if ub[v] - lb[v] <= TOL {
+                    *rhs -= coef * lb[v];
+                    false
+                } else {
+                    true
+                }
+            });
+            match terms.len() {
+                0 => {
+                    let ok = match sense {
+                        Sense::Le => *rhs >= -TOL,
+                        Sense::Ge => *rhs <= TOL,
+                        Sense::Eq => rhs.abs() <= TOL,
+                    };
+                    if !ok {
+                        return Presolved::Infeasible;
+                    }
+                    *slot = None;
+                    changed = true;
+                }
+                1 => {
+                    let (v, coef) = terms[0];
+                    let bound = *rhs / coef;
+                    // coef sign flips the sense for Le/Ge.
+                    let (new_lb, new_ub) = match (*sense, coef > 0.0) {
+                        (Sense::Le, true) | (Sense::Ge, false) => (f64::NEG_INFINITY, bound),
+                        (Sense::Le, false) | (Sense::Ge, true) => (bound, f64::INFINITY),
+                        (Sense::Eq, _) => (bound, bound),
+                    };
+                    let mut l = lb[v].max(new_lb);
+                    let mut u = ub[v].min(new_ub);
+                    if integral[v] {
+                        l = if (l - l.round()).abs() < TOL {
+                            l.round()
+                        } else {
+                            l.ceil()
+                        };
+                        u = if (u - u.round()).abs() < TOL {
+                            u.round()
+                        } else {
+                            u.floor()
+                        };
+                    }
+                    if l > u + TOL {
+                        return Presolved::Infeasible;
+                    }
+                    if (l - lb[v]).abs() > TOL || (u - ub[v]).abs() > TOL {
+                        lb[v] = l;
+                        ub[v] = u.max(l);
+                    }
+                    *slot = None;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the reduced model over surviving variables.
+    let mut mapping: Vec<Result<usize, f64>> = Vec::with_capacity(n);
+    let mut reduced = Model::new();
+    for i in 0..n {
+        if ub[i] - lb[i] <= TOL {
+            mapping.push(Err(lb[i]));
+        } else {
+            let kind = if integral[i] {
+                VarKind::Integer {
+                    lb: lb[i],
+                    ub: ub[i],
+                }
+            } else {
+                VarKind::Continuous {
+                    lb: lb[i],
+                    ub: ub[i],
+                }
+            };
+            let v = reduced.add_var(model.name(crate::Var(i)), kind);
+            mapping.push(Ok(v.index()));
+        }
+    }
+    for slot in rows.into_iter().flatten() {
+        let (terms, sense, rhs) = slot;
+        let reduced_terms: Vec<(crate::Var, f64)> = terms
+            .iter()
+            .map(|&(v, coef)| {
+                (
+                    crate::Var(mapping[v].expect("fixed vars were substituted out")),
+                    coef,
+                )
+            })
+            .collect();
+        reduced.add_constraint(reduced_terms, sense, rhs);
+    }
+    // Objective: substitute fixed variables (the constant offset shifts the
+    // objective value; callers comparing objectives should use
+    // `Model::objective_value` on lifted solutions, which reproduces the
+    // original value exactly).
+    let obj_terms: Vec<(crate::Var, f64)> = model
+        .objective_terms()
+        .filter_map(|&(v, coef)| match mapping[v.index()] {
+            Ok(j) => Some((crate::Var(j), coef)),
+            Err(_) => None,
+        })
+        .collect();
+    reduced.maximize(obj_terms);
+
+    Presolved::Reduced(Reduction {
+        model: reduced,
+        mapping,
+        original_vars: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MilpSolver, MilpStatus, Model, Sense, VarKind};
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 2.0, ub: 2.0 });
+        let y = m.add_var("y", VarKind::non_negative());
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 5.0);
+        m.maximize([(x, 1.0), (y, 1.0)]);
+        let Presolved::Reduced(r) = presolve(&m) else {
+            panic!("feasible")
+        };
+        assert_eq!(r.eliminated_vars(), 1);
+        assert_eq!(r.model.var_count(), 1);
+        // Reduced constraint is y <= 3.
+        let sol = MilpSolver::new().solve(&r.model).solution.unwrap();
+        let lifted = r.lift(&sol.values);
+        assert_eq!(lifted.len(), 2);
+        assert!((lifted[0] - 2.0).abs() < 1e-9);
+        assert!((lifted[1] - 3.0).abs() < 1e-6);
+        assert!(m.is_feasible(&lifted, 1e-6));
+        assert!((m.objective_value(&lifted) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singleton_rows_tighten_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 10.0 });
+        m.add_constraint([(x, 2.0)], Sense::Le, 8.0); // x <= 4
+        m.add_constraint([(x, -1.0)], Sense::Le, -1.0); // x >= 1
+        m.maximize([(x, 1.0)]);
+        let Presolved::Reduced(r) = presolve(&m) else {
+            panic!("feasible")
+        };
+        assert_eq!(r.model.constraint_count(), 0, "singletons become bounds");
+        let (l, u) = r.model.bounds(crate::Var(0));
+        assert!((l - 1.0).abs() < 1e-9 && (u - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_singletons_round_inward() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Integer { lb: 0.0, ub: 10.0 });
+        m.add_constraint([(x, 2.0)], Sense::Le, 7.0); // x <= 3.5 -> 3
+        m.add_constraint([(x, 1.0)], Sense::Ge, 1.2); // x >= 1.2 -> 2
+        m.maximize([(x, 1.0)]);
+        let Presolved::Reduced(r) = presolve(&m) else {
+            panic!("feasible")
+        };
+        let (l, u) = r.model.bounds(crate::Var(0));
+        assert_eq!((l, u), (2.0, 3.0));
+    }
+
+    #[test]
+    fn detects_infeasible_singleton_chain() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 10.0 });
+        m.add_constraint([(x, 1.0)], Sense::Le, 2.0);
+        m.add_constraint([(x, 1.0)], Sense::Ge, 3.0);
+        m.maximize([(x, 1.0)]);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn detects_infeasible_empty_row() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 1.0, ub: 1.0 });
+        m.add_constraint([(x, 1.0)], Sense::Ge, 5.0); // 1 >= 5: impossible
+        m.maximize([(x, 1.0)]);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn chain_reaction_fixes_cascade() {
+        // x = 3 (singleton eq) makes the second row a singleton in y, which
+        // fixes y too.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 10.0 });
+        let y = m.add_var("y", VarKind::Continuous { lb: 0.0, ub: 10.0 });
+        m.add_constraint([(x, 1.0)], Sense::Eq, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Eq, 7.0);
+        m.maximize([(y, 1.0)]);
+        let Presolved::Reduced(r) = presolve(&m) else {
+            panic!("feasible")
+        };
+        assert_eq!(r.eliminated_vars(), 2);
+        assert_eq!(r.model.constraint_count(), 0);
+        let lifted = r.lift(&[]);
+        assert_eq!(lifted, vec![3.0, 4.0]);
+        assert!(m.is_feasible(&lifted, 1e-9));
+    }
+
+    #[test]
+    fn presolve_then_solve_matches_direct_solve() {
+        // A mixed model the solver can handle either way.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_var("c", VarKind::Continuous { lb: 1.5, ub: 1.5 }); // fixed
+        m.add_constraint([(a, 2.0), (b, 3.0), (c, 2.0)], Sense::Le, 7.0);
+        m.add_constraint([(c, 1.0)], Sense::Le, 2.0); // redundant singleton
+        m.maximize([(a, 5.0), (b, 4.0), (c, 1.0)]);
+        let direct = MilpSolver::new().solve(&m);
+        let Presolved::Reduced(r) = presolve(&m) else {
+            panic!("feasible")
+        };
+        let reduced = MilpSolver::new().solve(&r.model);
+        assert_eq!(direct.status, MilpStatus::Optimal);
+        assert_eq!(reduced.status, MilpStatus::Optimal);
+        let lifted = r.lift(&reduced.solution.unwrap().values);
+        assert!(m.is_feasible(&lifted, 1e-6));
+        assert!(
+            (m.objective_value(&lifted) - direct.solution.unwrap().objective).abs() < 1e-6,
+            "presolve changed the optimum"
+        );
+    }
+}

@@ -1,0 +1,664 @@
+//! Bounded-variable two-phase primal simplex.
+//!
+//! Solves `max c·x  s.t.  A x {≤,=,≥} b,  l ≤ x ≤ u` with a dense tableau.
+//! Variables are shifted so every lower bound is zero, rows are normalized to
+//! non-negative right-hand sides, and artificial variables give the phase-1
+//! starting basis. Nonbasic variables rest at either bound; the ratio test
+//! supports bound flips. Dantzig pricing with a Bland's-rule fallback guards
+//! against cycling.
+
+// Dense-tableau code indexes parallel arrays; iterator-chains obscure it.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{Model, Sense, Var};
+
+/// Options for the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Feasibility/optimality tolerance.
+    pub tol: f64,
+    /// Hard cap on pivot iterations per phase (scaled guard against
+    /// cycling). `0` means "choose automatically from the problem size".
+    pub max_iters: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tol: 1e-7,
+            max_iters: 0,
+        }
+    }
+}
+
+/// A solution to the LP relaxation. Values cover structural variables only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Objective value.
+    pub objective: f64,
+    /// One value per structural (model) variable.
+    pub values: Vec<f64>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// The iteration cap was reached before convergence (treat as a failed
+    /// solve; callers may retry with looser tolerances).
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// The solution if optimal.
+    pub fn solution(&self) -> Option<&LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality dropped).
+///
+/// # Panics
+///
+/// Panics if the model has no objective.
+pub fn solve_relaxation(model: &Model, opts: &SimplexOptions) -> LpOutcome {
+    let n = model.var_count();
+    let mut lb = Vec::with_capacity(n);
+    let mut ub = Vec::with_capacity(n);
+    for i in 0..n {
+        let (l, u) = model.bounds(Var(i));
+        lb.push(l);
+        ub.push(u);
+    }
+    solve_with_bounds(model, &lb, &ub, opts)
+}
+
+/// Solves the LP relaxation with overridden variable bounds (used by branch
+/// and bound to tighten integer variables per node).
+///
+/// # Panics
+///
+/// Panics if the model has no objective or the bound slices have the wrong
+/// length.
+pub fn solve_with_bounds(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    opts: &SimplexOptions,
+) -> LpOutcome {
+    assert!(model.has_objective(), "model has no objective");
+    assert_eq!(lb.len(), model.var_count());
+    assert_eq!(ub.len(), model.var_count());
+    for i in 0..lb.len() {
+        if lb[i] > ub[i] + opts.tol {
+            return LpOutcome::Infeasible;
+        }
+    }
+    Tableau::build(model, lb, ub, opts).solve()
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtBound {
+    Lower,
+    Upper,
+}
+
+struct Tableau {
+    /// Row-major m × ncols tableau, kept equal to B⁻¹A.
+    t: Vec<f64>,
+    /// Current basic variable values (length m).
+    bvals: Vec<f64>,
+    /// Column index of the basic variable in each row.
+    basis: Vec<usize>,
+    /// For nonbasic columns, which bound they rest at.
+    at: Vec<AtBound>,
+    /// basic[j] = Some(row) if column j is basic.
+    in_basis: Vec<Option<usize>>,
+    /// Shifted bounds: all lower bounds are 0; `range[j]` = ub − lb (may be ∞).
+    range: Vec<f64>,
+    /// Phase-2 objective per column (structural costs; 0 for slacks).
+    obj: Vec<f64>,
+    /// Column indices of artificial variables.
+    artificials: Vec<usize>,
+    /// Structural variable count and their original lower bounds (for
+    /// un-shifting the solution).
+    n_struct: usize,
+    shift: Vec<f64>,
+    /// Constant objective offset from the shift.
+    obj_offset: f64,
+    m: usize,
+    ncols: usize,
+    tol: f64,
+    max_iters: usize,
+}
+
+impl Tableau {
+    fn build(model: &Model, lb: &[f64], ub: &[f64], opts: &SimplexOptions) -> Self {
+        let n = model.var_count();
+        let m = model.constraint_count();
+
+        // Shift structural variables to zero lower bounds.
+        let shift = lb.to_vec();
+        let mut range: Vec<f64> = (0..n).map(|j| ub[j] - lb[j]).collect();
+
+        // Dense rows of the structural part, with shifted rhs.
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0; n]; m];
+        let mut rhs = vec![0.0; m];
+        let mut senses = Vec::with_capacity(m);
+        for (i, con) in model.constraints.iter().enumerate() {
+            for &(v, c) in &con.terms {
+                rows[i][v.0] += c;
+            }
+            let shift_sum: f64 = (0..n).map(|j| rows[i][j] * shift[j]).sum();
+            rhs[i] = con.rhs - shift_sum;
+            senses.push(con.sense);
+        }
+        // Normalize to non-negative rhs.
+        for i in 0..m {
+            if rhs[i] < 0.0 {
+                rhs[i] = -rhs[i];
+                for x in rows[i].iter_mut() {
+                    *x = -*x;
+                }
+                senses[i] = match senses[i] {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+
+        // Count extra columns: slack/surplus for Le/Ge, artificial for Ge/Eq.
+        let mut ncols = n;
+        let mut slack_col = vec![None; m];
+        let mut art_col = vec![None; m];
+        for i in 0..m {
+            match senses[i] {
+                Sense::Le => {
+                    slack_col[i] = Some(ncols);
+                    ncols += 1;
+                }
+                Sense::Ge => {
+                    slack_col[i] = Some(ncols);
+                    ncols += 1;
+                    art_col[i] = Some(ncols);
+                    ncols += 1;
+                }
+                Sense::Eq => {
+                    art_col[i] = Some(ncols);
+                    ncols += 1;
+                }
+            }
+        }
+
+        let mut t = vec![0.0; m * ncols];
+        for i in 0..m {
+            t[i * ncols..i * ncols + n].copy_from_slice(&rows[i]);
+            match senses[i] {
+                Sense::Le => t[i * ncols + slack_col[i].expect("le has slack")] = 1.0,
+                Sense::Ge => {
+                    t[i * ncols + slack_col[i].expect("ge has surplus")] = -1.0;
+                    t[i * ncols + art_col[i].expect("ge has artificial")] = 1.0;
+                }
+                Sense::Eq => t[i * ncols + art_col[i].expect("eq has artificial")] = 1.0,
+            }
+        }
+
+        range.resize(ncols, f64::INFINITY);
+        let mut basis = Vec::with_capacity(m);
+        for i in 0..m {
+            basis.push(
+                art_col[i]
+                    .or(slack_col[i])
+                    .expect("every row has a basic column"),
+            );
+        }
+        let mut in_basis = vec![None; ncols];
+        for (i, &c) in basis.iter().enumerate() {
+            in_basis[c] = Some(i);
+        }
+
+        let mut obj = vec![0.0; ncols];
+        for &(v, c) in &model.objective {
+            obj[v.0] += c;
+        }
+        let obj_offset: f64 = model.objective.iter().map(|&(v, c)| c * shift[v.0]).sum();
+
+        let artificials: Vec<usize> = art_col.into_iter().flatten().collect();
+        let max_iters = if opts.max_iters == 0 {
+            (200 * (m + ncols)).max(20_000)
+        } else {
+            opts.max_iters
+        };
+
+        Tableau {
+            t,
+            bvals: rhs,
+            basis,
+            at: vec![AtBound::Lower; ncols],
+            in_basis,
+            range,
+            obj,
+            artificials,
+            n_struct: n,
+            shift,
+            obj_offset,
+            m,
+            ncols,
+            tol: opts.tol,
+            max_iters,
+        }
+    }
+
+    #[inline]
+    fn coef(&self, row: usize, col: usize) -> f64 {
+        self.t[row * self.ncols + col]
+    }
+
+    /// Value a nonbasic column currently rests at (in shifted space).
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.at[j] {
+            AtBound::Lower => 0.0,
+            AtBound::Upper => self.range[j],
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1: drive artificials to zero.
+        if !self.artificials.is_empty() {
+            let mut phase1 = vec![0.0; self.ncols];
+            for &a in &self.artificials {
+                phase1[a] = -1.0;
+            }
+            match self.optimize(&phase1) {
+                PhaseEnd::Optimal => {}
+                PhaseEnd::Unbounded => unreachable!("phase-1 objective is bounded above by 0"),
+                PhaseEnd::IterationLimit => return LpOutcome::IterationLimit,
+            }
+            let infeas: f64 = self
+                .artificials
+                .iter()
+                .map(|&a| match self.in_basis[a] {
+                    Some(row) => self.bvals[row],
+                    None => self.nonbasic_value(a),
+                })
+                .sum();
+            if infeas > self.tol.max(1e-7) * 10.0 {
+                return LpOutcome::Infeasible;
+            }
+            // Fix artificials at zero for phase 2.
+            for &a in &self.artificials {
+                self.range[a] = 0.0;
+                if self.in_basis[a].is_none() {
+                    self.at[a] = AtBound::Lower;
+                }
+            }
+        }
+
+        let obj = self.obj.clone();
+        match self.optimize(&obj) {
+            PhaseEnd::Optimal => {}
+            PhaseEnd::Unbounded => return LpOutcome::Unbounded,
+            PhaseEnd::IterationLimit => return LpOutcome::IterationLimit,
+        }
+
+        // Assemble structural values, un-shifting.
+        let mut values = vec![0.0; self.n_struct];
+        for j in 0..self.n_struct {
+            let x = match self.in_basis[j] {
+                Some(row) => self.bvals[row],
+                None => self.nonbasic_value(j),
+            };
+            values[j] = x + self.shift[j];
+        }
+        let objective: f64 = (0..self.n_struct)
+            .map(|j| {
+                self.obj[j]
+                    * (match self.in_basis[j] {
+                        Some(row) => self.bvals[row],
+                        None => self.nonbasic_value(j),
+                    })
+            })
+            .sum::<f64>()
+            + self.obj_offset;
+        LpOutcome::Optimal(LpSolution { objective, values })
+    }
+
+    /// Runs primal simplex iterations for the given column costs.
+    fn optimize(&mut self, c: &[f64]) -> PhaseEnd {
+        let bland_after = self.max_iters / 2;
+        for iter in 0..self.max_iters {
+            let bland = iter >= bland_after;
+            // Price: y = c_B, d_j = c_j − Σ_i c_B[i]·T[i][j].
+            let cb: Vec<f64> = self.basis.iter().map(|&col| c[col]).collect();
+            let mut entering: Option<(usize, f64, bool)> = None; // (col, score, increase)
+            for j in 0..self.ncols {
+                if self.in_basis[j].is_some() || self.range[j] <= self.tol {
+                    continue;
+                }
+                let mut d = c[j];
+                for i in 0..self.m {
+                    let a = self.coef(i, j);
+                    if a != 0.0 {
+                        d -= cb[i] * a;
+                    }
+                }
+                let (eligible, increase) = match self.at[j] {
+                    AtBound::Lower => (d > self.tol, true),
+                    AtBound::Upper => (d < -self.tol, false),
+                };
+                if eligible {
+                    let score = d.abs();
+                    if bland {
+                        entering = Some((j, score, increase));
+                        break;
+                    }
+                    if entering.map_or(true, |(_, s, _)| score > s) {
+                        entering = Some((j, score, increase));
+                    }
+                }
+            }
+            let Some((j, _, increase)) = entering else {
+                return PhaseEnd::Optimal;
+            };
+            let delta = if increase { 1.0 } else { -1.0 };
+
+            // Ratio test: x_B(t) = bvals − t·delta·T_col; entering moves by
+            // t·delta from its bound, with its own range as a flip limit.
+            let mut t_limit = self.range[j]; // bound flip distance
+            let mut leaving: Option<(usize, AtBound)> = None; // (row, bound hit)
+            for i in 0..self.m {
+                let a_eff = self.coef(i, j) * delta;
+                if a_eff > self.tol {
+                    // Basic value decreases toward 0 (its shifted lb).
+                    let room = self.bvals[i];
+                    let t = (room / a_eff).max(0.0);
+                    if t < t_limit {
+                        t_limit = t;
+                        leaving = Some((i, AtBound::Lower));
+                    }
+                } else if a_eff < -self.tol {
+                    // Basic value increases toward its range (shifted ub).
+                    let ub = self.range[self.basis[i]];
+                    if ub.is_finite() {
+                        let room = ub - self.bvals[i];
+                        let t = (room / -a_eff).max(0.0);
+                        if t < t_limit {
+                            t_limit = t;
+                            leaving = Some((i, AtBound::Upper));
+                        }
+                    }
+                }
+            }
+
+            if t_limit.is_infinite() {
+                return PhaseEnd::Unbounded;
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: entering travels its whole range.
+                    let t = t_limit;
+                    for i in 0..self.m {
+                        self.bvals[i] -= t * self.coef(i, j) * delta;
+                    }
+                    self.at[j] = match self.at[j] {
+                        AtBound::Lower => AtBound::Upper,
+                        AtBound::Upper => AtBound::Lower,
+                    };
+                }
+                Some((r, hit)) => {
+                    let t = t_limit;
+                    // Move all basic values.
+                    for i in 0..self.m {
+                        self.bvals[i] -= t * self.coef(i, j) * delta;
+                    }
+                    // Entering variable's new value (shifted space).
+                    let enter_val = self.nonbasic_value(j) + delta * t;
+                    let leaving_col = self.basis[r];
+                    // Pivot the tableau on (r, j).
+                    let p = self.coef(r, j);
+                    debug_assert!(p.abs() > 1e-12, "pivot too small");
+                    let inv = 1.0 / p;
+                    for col in 0..self.ncols {
+                        self.t[r * self.ncols + col] *= inv;
+                    }
+                    for i in 0..self.m {
+                        if i == r {
+                            continue;
+                        }
+                        let f = self.coef(i, j);
+                        if f != 0.0 {
+                            for col in 0..self.ncols {
+                                let v = self.t[r * self.ncols + col];
+                                self.t[i * self.ncols + col] -= f * v;
+                            }
+                        }
+                    }
+                    self.basis[r] = j;
+                    self.in_basis[j] = Some(r);
+                    self.in_basis[leaving_col] = None;
+                    self.at[leaving_col] = hit;
+                    self.bvals[r] = enter_val;
+                    // Clamp tiny negatives from roundoff.
+                    for i in 0..self.m {
+                        if self.bvals[i] < 0.0 && self.bvals[i] > -self.tol * 10.0 {
+                            self.bvals[i] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        PhaseEnd::IterationLimit
+    }
+}
+
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    fn opts() -> SimplexOptions {
+        SimplexOptions::default()
+    }
+
+    fn solve(m: &Model) -> LpSolution {
+        match solve_relaxation(m, &opts()) {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_var() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2  => 10 at (2, 2).
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::non_negative());
+        let y = m.add_var("y", VarKind::non_negative());
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+        m.add_constraint([(x, 1.0)], Sense::Le, 2.0);
+        m.maximize([(x, 3.0), (y, 2.0)]);
+        let s = solve(&m);
+        assert!((s.objective - 10.0).abs() < 1e-6);
+        assert!((s.value_of(x) - 2.0).abs() < 1e-6);
+        assert!((s.value_of(y) - 2.0).abs() < 1e-6);
+    }
+
+    impl LpSolution {
+        fn value_of(&self, v: crate::Var) -> f64 {
+            self.values[v.index()]
+        }
+    }
+
+    #[test]
+    fn upper_bounds_without_rows() {
+        // max x + y with x ∈ [0, 1.5], y ∈ [0, 2.5], x + y <= 3 => 3.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 1.5 });
+        let y = m.add_var("y", VarKind::Continuous { lb: 0.0, ub: 2.5 });
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 3.0);
+        m.maximize([(x, 1.0), (y, 1.0)]);
+        let s = solve(&m);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x + y s.t. x + y >= 3, x >= 1, y >= 0.5 => objective 3.
+        let mut m = Model::new();
+        let x = m.add_var(
+            "x",
+            VarKind::Continuous {
+                lb: 1.0,
+                ub: f64::INFINITY,
+            },
+        );
+        let y = m.add_var(
+            "y",
+            VarKind::Continuous {
+                lb: 0.5,
+                ub: f64::INFINITY,
+            },
+        );
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        m.minimize([(x, 1.0), (y, 1.0)]);
+        let s = solve(&m);
+        assert!(
+            (s.objective + 3.0).abs() < 1e-6,
+            "max of negated = -3, got {}",
+            s.objective
+        );
+        assert!(s.value_of(x) >= 1.0 - 1e-9);
+        assert!(s.value_of(y) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max 2x + y s.t. x + y = 5, x <= 3 => x=3, y=2, obj=8.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 3.0 });
+        let y = m.add_var("y", VarKind::non_negative());
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Eq, 5.0);
+        m.maximize([(x, 2.0), (y, 1.0)]);
+        let s = solve(&m);
+        assert!((s.objective - 8.0).abs() < 1e-6);
+        assert!((s.value_of(x) + s.value_of(y) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 1.0 });
+        m.add_constraint([(x, 1.0)], Sense::Ge, 2.0);
+        m.maximize([(x, 1.0)]);
+        assert_eq!(solve_relaxation(&m, &opts()), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::non_negative());
+        let y = m.add_var("y", VarKind::non_negative());
+        m.add_constraint([(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        m.maximize([(x, 1.0)]);
+        assert_eq!(solve_relaxation(&m, &opts()), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -1 with x, y in [0, 5]; max x => x = 4 when y = 5.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 5.0 });
+        let y = m.add_var("y", VarKind::Continuous { lb: 0.0, ub: 5.0 });
+        m.add_constraint([(x, 1.0), (y, -1.0)], Sense::Le, -1.0);
+        m.maximize([(x, 1.0)]);
+        let s = solve(&m);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate LP; just require termination at the optimum.
+        let mut m = Model::new();
+        let x1 = m.add_var("x1", VarKind::non_negative());
+        let x2 = m.add_var("x2", VarKind::non_negative());
+        let x3 = m.add_var("x3", VarKind::non_negative());
+        let x4 = m.add_var("x4", VarKind::non_negative());
+        m.add_constraint(
+            [(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint(
+            [(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint([(x1, 1.0)], Sense::Le, 1.0);
+        m.maximize([(x1, 10.0), (x2, -57.0), (x3, -9.0), (x4, -24.0)]);
+        let s = solve(&m);
+        assert!(
+            (s.objective - 1.0).abs() < 1e-5,
+            "known optimum is 1, got {}",
+            s.objective
+        );
+    }
+
+    #[test]
+    fn zero_constraint_model() {
+        // Pure bounds: max x + 2y with x ∈ [0,1], y ∈ [0,2].
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 1.0 });
+        let y = m.add_var("y", VarKind::Continuous { lb: 0.0, ub: 2.0 });
+        m.maximize([(x, 1.0), (y, 2.0)]);
+        let s = solve(&m);
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.5, ub: 4.0 });
+        let y = m.add_var("y", VarKind::Continuous { lb: 0.0, ub: 3.0 });
+        m.add_constraint([(x, 2.0), (y, 1.0)], Sense::Le, 6.0);
+        m.add_constraint([(x, 1.0), (y, 3.0)], Sense::Ge, 2.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        m.maximize([(x, 1.0), (y, 1.0)]);
+        let s = solve(&m);
+        assert!(
+            m.is_feasible(&s.values, 1e-6),
+            "{:?}",
+            m.violation(&s.values, 1e-6)
+        );
+    }
+
+    #[test]
+    fn tightened_bounds_override() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarKind::Continuous { lb: 0.0, ub: 10.0 });
+        m.maximize([(x, 1.0)]);
+        let out = solve_with_bounds(&m, &[0.0], &[2.0], &opts());
+        let s = out.solution().expect("optimal");
+        assert!((s.objective - 2.0).abs() < 1e-9);
+        // Contradictory bounds are infeasible.
+        assert_eq!(
+            solve_with_bounds(&m, &[3.0], &[2.0], &opts()),
+            LpOutcome::Infeasible
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Presolve-enabled solving must agree with direct solving on every model,
+//! including warm starts and polishers operating in original space.
+
+use pm_milp::branch::Polisher;
+use pm_milp::{MilpSolver, MilpStatus, Model, Sense, VarKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn mixed_model() -> Model {
+    let mut m = Model::new();
+    let a = m.add_binary("a");
+    let b = m.add_binary("b");
+    let fixed = m.add_var("f", VarKind::Continuous { lb: 2.0, ub: 2.0 });
+    let c = m.add_var("c", VarKind::Continuous { lb: 0.0, ub: 9.0 });
+    m.add_constraint([(a, 3.0), (b, 4.0), (fixed, 1.0), (c, 1.0)], Sense::Le, 9.0);
+    m.add_constraint([(c, 1.0)], Sense::Le, 4.0); // singleton
+    m.maximize([(a, 5.0), (b, 4.0), (fixed, 2.0), (c, 1.0)]);
+    m
+}
+
+#[test]
+fn presolved_matches_direct() {
+    let m = mixed_model();
+    let direct = MilpSolver::new().solve(&m);
+    let pre = MilpSolver::new().with_presolve().solve(&m);
+    assert_eq!(direct.status, MilpStatus::Optimal);
+    assert_eq!(pre.status, MilpStatus::Optimal);
+    let d = direct.solution.unwrap();
+    let p = pre.solution.unwrap();
+    assert!(
+        (d.objective - p.objective).abs() < 1e-6,
+        "{} vs {}",
+        d.objective,
+        p.objective
+    );
+    assert_eq!(
+        p.values.len(),
+        m.var_count(),
+        "solution lifted to original space"
+    );
+    assert!(m.is_feasible(&p.values, 1e-6));
+}
+
+#[test]
+fn presolved_warm_start_respected() {
+    let m = mixed_model();
+    // Feasible original-space warm start (a=1, b=0, f=2, c=4): obj 13.
+    let ws = vec![1.0, 0.0, 2.0, 4.0];
+    assert!(m.is_feasible(&ws, 1e-9));
+    let r = MilpSolver::new()
+        .with_presolve()
+        .node_limit(1)
+        .warm_start(ws.clone())
+        .solve(&m);
+    let sol = r.solution.expect("warm start retained through presolve");
+    assert!(sol.objective >= m.objective_value(&ws) - 1e-9);
+}
+
+#[test]
+fn presolved_warm_start_contradicting_fixing_is_dropped() {
+    let m = mixed_model();
+    // f = 3 contradicts the fixing f = 2: must be dropped, not crash.
+    let ws = vec![1.0, 0.0, 3.0, 4.0];
+    let r = MilpSolver::new().with_presolve().solve(&m);
+    let _ = ws;
+    assert_eq!(r.status, MilpStatus::Optimal);
+}
+
+#[test]
+fn presolved_polisher_sees_original_space() {
+    let m = mixed_model();
+    let polisher: Polisher = Arc::new(|original: &[f64]| {
+        assert_eq!(original.len(), 4, "polisher must see original arity");
+        // Propose the known-good point.
+        Some(vec![1.0, 0.0, 2.0, 4.0])
+    });
+    let r = MilpSolver::new()
+        .with_presolve()
+        .polisher(polisher)
+        .solve(&m);
+    assert_eq!(r.status, MilpStatus::Optimal);
+    assert!(m.is_feasible(&r.solution.unwrap().values, 1e-6));
+}
+
+#[test]
+fn presolve_detects_infeasibility_fast() {
+    let mut m = Model::new();
+    let x = m.add_var("x", VarKind::Continuous { lb: 1.0, ub: 1.0 });
+    m.add_constraint([(x, 1.0)], Sense::Ge, 2.0);
+    m.maximize([(x, 1.0)]);
+    let r = MilpSolver::new().with_presolve().solve(&m);
+    assert_eq!(r.status, MilpStatus::Infeasible);
+    assert_eq!(r.nodes_explored, 0, "no LP needed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random binary programs: presolve on/off agree on status and optimum.
+    #[test]
+    fn presolve_agrees_on_random_bips(
+        n in 2usize..=7,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i32..=6, 7), -3i32..=12), 1..=4),
+        obj in proptest::collection::vec(-5i32..=9, 7),
+    ) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for (coefs, rhs) in &rows {
+            m.add_constraint(
+                vars.iter().zip(coefs).map(|(&v, &c)| (v, c as f64)),
+                Sense::Le,
+                *rhs as f64,
+            );
+        }
+        m.maximize(vars.iter().zip(&obj).map(|(&v, &c)| (v, c as f64)));
+
+        let direct = MilpSolver::new().solve(&m);
+        let pre = MilpSolver::new().with_presolve().solve(&m);
+        prop_assert_eq!(direct.status, pre.status);
+        if let (Some(d), Some(p)) = (&direct.solution, &pre.solution) {
+            prop_assert!((d.objective - p.objective).abs() < 1e-6,
+                "direct {} vs presolved {}", d.objective, p.objective);
+            prop_assert!(m.is_feasible(&p.values, 1e-6));
+        }
+    }
+}

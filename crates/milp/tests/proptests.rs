@@ -1,0 +1,140 @@
+//! Property tests: the MILP solver must agree with brute-force enumeration
+//! on random small binary programs, and LP relaxations must upper-bound the
+//! integer optimum.
+
+use pm_milp::{MilpSolver, MilpStatus, Model, Sense, SimplexOptions};
+use proptest::prelude::*;
+
+/// A random binary program with `n` vars, `m` ≤-constraints and integer
+/// coefficients (so brute force is exact).
+#[derive(Debug, Clone)]
+struct RandomBip {
+    n: usize,
+    obj: Vec<i32>,
+    rows: Vec<(Vec<i32>, i32)>, // (coefficients, rhs), sense always <=
+}
+
+fn arb_bip() -> impl Strategy<Value = RandomBip> {
+    (2usize..=8, 1usize..=4).prop_flat_map(|(n, m)| {
+        let obj = proptest::collection::vec(-5i32..=9, n);
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(-4i32..=6, n), -3i32..=12), m);
+        (obj, rows).prop_map(move |(obj, rows)| RandomBip { n, obj, rows })
+    })
+}
+
+fn build_model(bip: &RandomBip) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..bip.n).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for (coefs, rhs) in &bip.rows {
+        m.add_constraint(
+            vars.iter().zip(coefs).map(|(&v, &c)| (v, c as f64)),
+            Sense::Le,
+            *rhs as f64,
+        );
+    }
+    m.maximize(vars.iter().zip(&bip.obj).map(|(&v, &c)| (v, c as f64)));
+    m
+}
+
+/// Exhaustive optimum over all 2^n assignments, or `None` if infeasible.
+fn brute_force(bip: &RandomBip) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    'outer: for mask in 0u32..(1 << bip.n) {
+        for (coefs, rhs) in &bip.rows {
+            let lhs: i32 = (0..bip.n)
+                .map(|i| coefs[i] * ((mask >> i) & 1) as i32)
+                .sum();
+            if lhs > *rhs {
+                continue 'outer;
+            }
+        }
+        let val: i64 = (0..bip.n)
+            .map(|i| bip.obj[i] as i64 * ((mask >> i) & 1) as i64)
+            .sum();
+        best = Some(best.map_or(val, |b: i64| b.max(val)));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch and bound matches brute force exactly on random binary
+    /// programs.
+    #[test]
+    fn bnb_matches_brute_force(bip in arb_bip()) {
+        let model = build_model(&bip);
+        let result = MilpSolver::new().solve(&model);
+        match brute_force(&bip) {
+            None => prop_assert_eq!(result.status, MilpStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(result.status, MilpStatus::Optimal);
+                let sol = result.solution.expect("optimal implies solution");
+                prop_assert!((sol.objective - best as f64).abs() < 1e-6,
+                    "solver found {}, brute force found {}", sol.objective, best);
+                prop_assert!(model.is_feasible(&sol.values, 1e-6),
+                    "{:?}", model.violation(&sol.values, 1e-6));
+            }
+        }
+    }
+
+    /// The LP relaxation value never falls below the integer optimum.
+    #[test]
+    fn lp_relaxation_upper_bounds_ip(bip in arb_bip()) {
+        let model = build_model(&bip);
+        if let Some(best) = brute_force(&bip) {
+            let lp = pm_milp::simplex::solve_relaxation(&model, &SimplexOptions::default());
+            let lp = lp.solution().expect("IP feasible implies LP feasible").clone();
+            prop_assert!(lp.objective >= best as f64 - 1e-6,
+                "LP bound {} below IP optimum {}", lp.objective, best);
+        }
+    }
+
+    /// The LP optimum dominates every feasible point we can sample: scale
+    /// random 0/1 corners into the feasible region and compare.
+    #[test]
+    fn lp_optimum_dominates_sampled_points(bip in arb_bip()) {
+        let model = build_model(&bip);
+        let lp = pm_milp::simplex::solve_relaxation(&model, &SimplexOptions::default());
+        let Some(sol) = lp.solution() else { return Ok(()); };
+        // Sample: every single-variable point and the uniform point, scaled
+        // until feasible.
+        let n = bip.n;
+        let mut candidates: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        candidates.push(vec![0.5; n]);
+        for mut cand in candidates {
+            // Shrink toward 0 until feasible (0 is feasible iff all rhs >= 0).
+            let mut scale = 1.0f64;
+            for _ in 0..12 {
+                let scaled: Vec<f64> = cand.iter().map(|&x| x * scale).collect();
+                if model.is_feasible(&scaled, 1e-9) {
+                    let obj = model.objective_value(&scaled);
+                    prop_assert!(sol.objective >= obj - 1e-6,
+                        "LP optimum {} below feasible point {}", sol.objective, obj);
+                    break;
+                }
+                scale *= 0.5;
+            }
+            cand.clear();
+        }
+    }
+
+    /// Warm starting with a feasible point never worsens the result and the
+    /// returned objective is at least the warm start's.
+    #[test]
+    fn warm_start_monotone(bip in arb_bip()) {
+        let model = build_model(&bip);
+        // Try the all-zeros point as a warm start when feasible.
+        let zeros = vec![0.0; bip.n];
+        if !model.is_feasible(&zeros, 1e-9) {
+            return Ok(());
+        }
+        let ws_obj = model.objective_value(&zeros);
+        let result = MilpSolver::new().node_limit(1).warm_start(zeros).solve(&model);
+        let sol = result.solution.expect("warm start retained");
+        prop_assert!(sol.objective >= ws_obj - 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors from the recovery algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PmError {
+    /// The SD-WAN layer rejected something (e.g. a produced plan failed
+    /// validation during post-checks).
+    Sdwan(pm_sdwan::SdwanError),
+    /// The exact solver stopped without any feasible solution — the paper's
+    /// "optimization solver may not always generate a feasible solution"
+    /// case (Section VI-C3).
+    NoSolution {
+        /// Why the solver stopped.
+        reason: String,
+    },
+    /// The instance is degenerate (e.g. no offline flows to recover) for an
+    /// algorithm that cannot handle it.
+    Degenerate(String),
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::Sdwan(e) => write!(f, "sd-wan error: {e}"),
+            PmError::NoSolution { reason } => write!(f, "no feasible solution: {reason}"),
+            PmError::Degenerate(m) => write!(f, "degenerate instance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmError::Sdwan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pm_sdwan::SdwanError> for PmError {
+    fn from(e: pm_sdwan::SdwanError) -> Self {
+        PmError::Sdwan(e)
+    }
+}

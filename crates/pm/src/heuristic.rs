@@ -1,0 +1,436 @@
+//! The PM heuristic — Algorithm 1 of the paper.
+//!
+//! Phase 1 (lines 2–40) repeatedly picks the offline switch that can help
+//! the most least-programmable flows, maps it to the nearest active
+//! controller with enough capacity (falling back to the roomiest one), and
+//! puts least-programmable flows into SDN mode there. When every switch has
+//! been visited the pass restarts with the least programmability `σ` raised
+//! to the new minimum, for `TOTAL_ITERATIONS` passes. Phase 2 (lines 42–50)
+//! then spends any leftover controller capacity on additional SDN-mode
+//! selections to maximize total programmability.
+//!
+//! Two deliberate clarifications of the pseudo-code are configurable:
+//!
+//! * Line 20–24 scans controllers in ascending delay but has no `break`; we
+//!   stop at the first (nearest) fitting controller, matching the prose
+//!   ("we test controllers following the ascending order of the propagation
+//!   delay"). [`MappingRule::MaxCapacity`] ablates this.
+//! * `σ = min(H)` (line 38) is taken over *recoverable* flows by default —
+//!   flows with no `β = 1` offline switch would pin `σ` at 0 forever.
+//!   [`PmConfig::faithful_sigma`] restores the literal behaviour.
+
+use crate::instance::FmssmInstance;
+use crate::{PmError, RecoveryAlgorithm};
+use pm_sdwan::RecoveryPlan;
+use std::collections::BTreeSet;
+
+/// How phase 1 picks the next switch to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionRule {
+    /// The paper's rule: the switch serving the most flows whose current
+    /// programmability equals the least value `σ` (lines 5–15).
+    #[default]
+    MostLeastProgFlows,
+    /// Ablation: the switch with the most traversing flows (`γ`).
+    HighestGamma,
+    /// Ablation: the lowest-id untested switch.
+    LowestId,
+}
+
+/// How a newly selected switch is mapped to a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingRule {
+    /// The paper's rule: nearest controller whose capacity fits the
+    /// switch's `γ`, falling back to the controller with maximum capacity
+    /// (lines 20–27).
+    #[default]
+    NearestWithCapacity,
+    /// Ablation: always the controller with the most remaining capacity.
+    MaxCapacity,
+}
+
+/// Tunables of the PM heuristic. `Default` reproduces the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PmConfig {
+    /// Switch-selection rule (ablation hook).
+    pub selection: SelectionRule,
+    /// Controller-mapping rule (ablation hook).
+    pub mapping: MappingRule,
+    /// Skip phase 2 (lines 42–50) — ablates the third design
+    /// consideration, "fully utilizing controllers' control resource".
+    pub skip_phase2: bool,
+    /// Take `σ = min(H)` literally over *all* offline flows, including
+    /// unrecoverable ones (pins `σ` at 0 whenever such flows exist).
+    pub faithful_sigma: bool,
+}
+
+/// The PM heuristic (paper Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use pm_core::{FmssmInstance, Pm, RecoveryAlgorithm};
+/// use pm_sdwan::{ControllerId, Programmability, SdWanBuilder};
+///
+/// let net = SdWanBuilder::att_paper_setup().build()?;
+/// let prog = Programmability::compute(&net);
+/// let scenario = net.fail(&[ControllerId(3)])?;
+/// let plan = Pm::new().recover(&FmssmInstance::new(&scenario, &prog))?;
+/// plan.validate(&scenario, &prog, false)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pm {
+    config: PmConfig,
+}
+
+impl Pm {
+    /// PM with the paper's default behaviour.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// PM with explicit tunables (for the ablation benches).
+    pub fn with_config(config: PmConfig) -> Self {
+        Pm { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PmConfig {
+        &self.config
+    }
+}
+
+impl Pm {
+    /// Like [`RecoveryAlgorithm::recover`], but seeded with decisions
+    /// carried over from an earlier recovery (successive-failure support):
+    /// seeded mappings are kept verbatim (Algorithm 1 line 17 reuses
+    /// existing mappings), seeded SDN selections keep their capacity and
+    /// contribute to the flows' current programmability. Seed entries
+    /// referencing failed controllers or online switches are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for parity with `recover`.
+    pub fn recover_with_seed(
+        &self,
+        inst: &FmssmInstance<'_, '_>,
+        seed: &RecoveryPlan,
+    ) -> Result<RecoveryPlan, PmError> {
+        self.run(inst, Some(seed))
+    }
+}
+
+impl RecoveryAlgorithm for Pm {
+    fn name(&self) -> &'static str {
+        "PM"
+    }
+
+    fn recover(&self, inst: &FmssmInstance<'_, '_>) -> Result<RecoveryPlan, PmError> {
+        self.run(inst, None)
+    }
+}
+
+impl Pm {
+    fn run(
+        &self,
+        inst: &FmssmInstance<'_, '_>,
+        seed: Option<&RecoveryPlan>,
+    ) -> Result<RecoveryPlan, PmError> {
+        let n = inst.switches().len();
+        let m = inst.controllers().len();
+        let l_count = inst.flows().len();
+
+        let mut x: Vec<Option<usize>> = vec![None; n];
+        let mut y: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut a: Vec<i64> = inst.residuals().iter().map(|&r| r as i64).collect();
+        let mut h: Vec<u64> = vec![0; l_count];
+
+        if let Some(seed) = seed {
+            for (s, c) in seed.mappings() {
+                let (Some(ip), Some(jp)) = (
+                    inst.switch_position(s),
+                    inst.controllers().iter().position(|&cc| cc == c),
+                ) else {
+                    continue; // switch no longer offline or controller failed
+                };
+                x[ip] = Some(jp);
+            }
+            for (s, l, c) in seed.sdn_selections() {
+                let (Some(ip), Some(lp), Some(jp)) = (
+                    inst.switch_position(s),
+                    inst.flow_position(l),
+                    inst.controllers().iter().position(|&cc| cc == c),
+                ) else {
+                    continue;
+                };
+                if x[ip] != Some(jp) || !y.insert((ip, lp)) {
+                    continue;
+                }
+                let pbar = inst.programmability().pbar(l, s) as u64;
+                h[lp] += pbar;
+                a[jp] -= 1;
+            }
+        }
+        let mut s_star: BTreeSet<usize> = (0..n).collect();
+        let mut sigma: u64 = 0;
+        let mut test_count = 0usize;
+        let total_iterations = inst.total_iterations().max(1);
+
+        let min_h = |h: &[u64]| -> u64 {
+            (0..l_count)
+                .filter(|&lp| self.config.faithful_sigma || !inst.flow_entries(lp).is_empty())
+                .map(|lp| h[lp])
+                .min()
+                .unwrap_or(0)
+        };
+
+        while test_count < total_iterations {
+            // Lines 5–15: find the switch s_{i0} to recover.
+            let i0 = match self.config.selection {
+                SelectionRule::MostLeastProgFlows => {
+                    let mut delta = 0usize;
+                    let mut best = None;
+                    for &ip in &s_star {
+                        let test_num = inst
+                            .switch_entries(ip)
+                            .iter()
+                            .filter(|&&(lp, _)| h[lp] == sigma)
+                            .count();
+                        if test_num > delta {
+                            delta = test_num;
+                            best = Some(ip);
+                        }
+                    }
+                    best
+                }
+                SelectionRule::HighestGamma => s_star
+                    .iter()
+                    .copied()
+                    .filter(|&ip| !inst.switch_entries(ip).is_empty())
+                    .max_by_key(|&ip| inst.gamma(ip)),
+                SelectionRule::LowestId => s_star
+                    .iter()
+                    .copied()
+                    .find(|&ip| !inst.switch_entries(ip).is_empty()),
+            };
+            let Some(i0) = i0 else {
+                // No switch can serve a least-programmable flow: this pass
+                // is exhausted, behave as lines 37–39.
+                s_star = (0..n).collect();
+                test_count += 1;
+                sigma = min_h(&h);
+                continue;
+            };
+
+            // Lines 17–28: map s_{i0} to controller C_{j0}.
+            let j0 = match x[i0] {
+                Some(j) => j,
+                None => {
+                    let by_rule = match self.config.mapping {
+                        MappingRule::NearestWithCapacity => inst
+                            .controllers_by_delay(i0)
+                            .iter()
+                            .copied()
+                            .find(|&j| a[j] >= inst.gamma(i0) as i64),
+                        MappingRule::MaxCapacity => None,
+                    };
+                    by_rule.unwrap_or_else(|| {
+                        // Line 26: the controller with maximum available
+                        // control resource.
+                        (0..m)
+                            .max_by_key(|&j| a[j])
+                            .expect("at least one controller")
+                    })
+                }
+            };
+            x[i0] = Some(j0);
+            s_star.remove(&i0);
+
+            // Lines 31–36: SDN mode for least-programmable flows at s_{i0}.
+            for &(lp, pbar) in inst.switch_entries(i0) {
+                if h[lp] <= sigma && !y.contains(&(i0, lp)) && a[j0] > 0 {
+                    a[j0] -= 1;
+                    h[lp] += pbar as u64;
+                    y.insert((i0, lp));
+                }
+            }
+
+            // Lines 37–39: restart the pass when every switch was tested.
+            if s_star.is_empty() {
+                s_star = (0..n).collect();
+                test_count += 1;
+                sigma = min_h(&h);
+            }
+        }
+
+        // Lines 42–50: improve the total programmability with leftovers.
+        if !self.config.skip_phase2 {
+            for (ip, &ctrl) in x.iter().enumerate() {
+                if let Some(j0) = ctrl {
+                    for &(lp, pbar) in inst.switch_entries(ip) {
+                        if a[j0] > 0 && !y.contains(&(ip, lp)) {
+                            a[j0] -= 1;
+                            h[lp] += pbar as u64;
+                            y.insert((ip, lp));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Line 51: emit X and Y.
+        let mut plan = RecoveryPlan::new();
+        for (ip, ctrl) in x.iter().enumerate() {
+            if let Some(j) = ctrl {
+                plan.map_switch(inst.switches()[ip], inst.controllers()[*j]);
+            }
+        }
+        for &(ip, lp) in &y {
+            plan.set_sdn(inst.switches()[ip], inst.flows()[lp]);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWanBuilder};
+
+    fn setup() -> (pm_sdwan::SdWan, Programmability) {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prog = Programmability::compute(&net);
+        (net, prog)
+    }
+
+    #[test]
+    fn produces_valid_plans_for_all_single_failures() {
+        let (net, prog) = setup();
+        for c in 0..6 {
+            let sc = net.fail(&[ControllerId(c)]).unwrap();
+            let inst = FmssmInstance::new(&sc, &prog);
+            let plan = Pm::new().recover(&inst).unwrap();
+            plan.validate(&sc, &prog, false).unwrap();
+        }
+    }
+
+    #[test]
+    fn recovers_every_recoverable_flow_on_single_failure() {
+        // With one failure the active controllers have ample capacity, so
+        // every flow with a β = 1 offline switch must come back (paper
+        // Fig. 4(c): 100 % recovery).
+        let (net, prog) = setup();
+        for c in 0..6 {
+            let sc = net.fail(&[ControllerId(c)]).unwrap();
+            let inst = FmssmInstance::new(&sc, &prog);
+            let plan = Pm::new().recover(&inst).unwrap();
+            let metrics = PlanMetrics::compute(&sc, &prog, &plan, 0.0);
+            assert_eq!(
+                metrics.recovered_flows,
+                inst.recoverable_flow_count(),
+                "failure of C{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_capacity_under_hard_failures() {
+        let (net, prog) = setup();
+        // The (C13, C20) headline case: capacity-constrained.
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let plan = Pm::new().recover(&inst).unwrap();
+        plan.validate(&sc, &prog, false).unwrap();
+        let metrics = PlanMetrics::compute(&sc, &prog, &plan, 0.0);
+        for u in &metrics.controller_usage {
+            assert!(u.used <= u.available);
+        }
+        assert!(metrics.total_programmability > 0);
+    }
+
+    #[test]
+    fn recovers_hub_switch_where_switch_level_cannot() {
+        // Under (C13, C20), γ(s13) exceeds every residual capacity, so a
+        // whole-switch remap is impossible — but PM must still recover s13
+        // per-flow (the paper's 315 % anecdote).
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let plan = Pm::new().recover(&inst).unwrap();
+        assert!(
+            plan.controller_of(pm_sdwan::SwitchId(13)).is_some(),
+            "PM must map the hub switch"
+        );
+        let sdn_at_13 = plan
+            .sdn_selections()
+            .filter(|&(s, _, _)| s == pm_sdwan::SwitchId(13))
+            .count();
+        assert!(sdn_at_13 > 0, "PM must recover flows at the hub");
+    }
+
+    #[test]
+    fn phase2_increases_total_programmability() {
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let full = Pm::new().recover(&inst).unwrap();
+        let no_p2 = Pm::with_config(PmConfig {
+            skip_phase2: true,
+            ..Default::default()
+        })
+        .recover(&inst)
+        .unwrap();
+        let m_full = PlanMetrics::compute(&sc, &prog, &full, 0.0);
+        let m_no = PlanMetrics::compute(&sc, &prog, &no_p2, 0.0);
+        assert!(m_full.total_programmability >= m_no.total_programmability);
+        // The least programmability must not suffer from phase 2.
+        assert!(m_full.min_programmability >= m_no.min_programmability);
+    }
+
+    #[test]
+    fn balanced_recovery_beats_unbalanced_min() {
+        // PM's min programmability should match or beat the naive
+        // highest-gamma selection ablation on the hard case.
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let pm = Pm::new().recover(&inst).unwrap();
+        let abl = Pm::with_config(PmConfig {
+            selection: SelectionRule::HighestGamma,
+            ..Default::default()
+        })
+        .recover(&inst)
+        .unwrap();
+        let m_pm = PlanMetrics::compute(&sc, &prog, &pm, 0.0);
+        let m_abl = PlanMetrics::compute(&sc, &prog, &abl, 0.0);
+        assert!(
+            inst.objective(&m_pm.per_flow_programmability, true)
+                >= inst.objective(&m_abl.per_flow_programmability, true) - 1e-9
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(1), ControllerId(3)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let p1 = Pm::new().recover(&inst).unwrap();
+        let p2 = Pm::new().recover(&inst).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn faithful_sigma_still_valid() {
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(5)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let plan = Pm::with_config(PmConfig {
+            faithful_sigma: true,
+            ..Default::default()
+        })
+        .recover(&inst)
+        .unwrap();
+        plan.validate(&sc, &prog, false).unwrap();
+    }
+}

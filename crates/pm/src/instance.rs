@@ -1,0 +1,348 @@
+//! The FMSSM problem instance (paper Section IV).
+//!
+//! [`FmssmInstance`] flattens a [`FailureScenario`] plus the precomputed
+//! [`Programmability`] table into dense index spaces — offline switches
+//! `0..N`, active controllers `0..M`, offline flows `0..L` — exactly the
+//! index sets of the formulation, so algorithms work on compact vectors.
+
+use pm_sdwan::{ControllerId, FailureScenario, FlowId, Programmability, SwitchId};
+use std::collections::HashMap;
+
+/// A dense view of one recovery problem.
+#[derive(Debug, Clone)]
+pub struct FmssmInstance<'a, 'net> {
+    scenario: &'a FailureScenario<'net>,
+    prog: &'a Programmability,
+    /// Offline switches (the paper's `S`), sorted by id.
+    switches: Vec<SwitchId>,
+    switch_pos: HashMap<SwitchId, usize>,
+    /// Active controllers (the paper's `C`), sorted by id.
+    controllers: Vec<ControllerId>,
+    /// Residual capacity per active controller (aligned with
+    /// `controllers`) — the paper's `A_j^rest`.
+    residual: Vec<u32>,
+    /// Offline flows (the paper's `F`), sorted by id.
+    flows: Vec<FlowId>,
+    flow_pos: HashMap<FlowId, usize>,
+    /// Per offline flow: its `(switch position, p̄)` entries at offline
+    /// switches with `β = 1`, in path order.
+    entries_by_flow: Vec<Vec<(usize, u32)>>,
+    /// Per offline switch: its `(flow position, p̄)` entries, ascending by
+    /// flow.
+    entries_by_switch: Vec<Vec<(usize, u32)>>,
+    /// `γ_i` per offline switch.
+    gamma: Vec<u32>,
+    /// `delay[i][j]` = `D_ij` between offline switch `i` and active
+    /// controller `j` (dense positions).
+    delay: Vec<Vec<f64>>,
+    /// Controllers sorted by ascending delay per switch (the paper's
+    /// `C(i)`).
+    ctrl_by_delay: Vec<Vec<usize>>,
+}
+
+impl<'a, 'net> FmssmInstance<'a, 'net> {
+    /// Builds the dense instance for a scenario.
+    pub fn new(scenario: &'a FailureScenario<'net>, prog: &'a Programmability) -> Self {
+        let net = scenario.network();
+        let switches: Vec<SwitchId> = scenario.offline_switches().to_vec();
+        let switch_pos: HashMap<SwitchId, usize> =
+            switches.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let controllers: Vec<ControllerId> = scenario.active_controllers().to_vec();
+        let residual: Vec<u32> = controllers
+            .iter()
+            .map(|&c| scenario.residual_capacity(c))
+            .collect();
+        let flows: Vec<FlowId> = scenario.offline_flows().to_vec();
+        let flow_pos: HashMap<FlowId, usize> =
+            flows.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+
+        let mut entries_by_flow = Vec::with_capacity(flows.len());
+        let mut entries_by_switch: Vec<Vec<(usize, u32)>> = vec![Vec::new(); switches.len()];
+        for (lp, &l) in flows.iter().enumerate() {
+            let mut row = Vec::new();
+            for &(s, p) in prog.flow_entries(l) {
+                if let Some(&ip) = switch_pos.get(&s) {
+                    row.push((ip, p));
+                    entries_by_switch[ip].push((lp, p));
+                }
+            }
+            entries_by_flow.push(row);
+        }
+
+        let gamma: Vec<u32> = switches.iter().map(|&s| net.gamma(s)).collect();
+        let delay: Vec<Vec<f64>> = switches
+            .iter()
+            .map(|&s| controllers.iter().map(|&c| net.ctrl_delay(s, c)).collect())
+            .collect();
+        let ctrl_by_delay: Vec<Vec<usize>> = delay
+            .iter()
+            .map(|row: &Vec<f64>| {
+                let mut order: Vec<usize> = (0..controllers.len()).collect();
+                order.sort_by(|&a, &b| {
+                    row[a]
+                        .partial_cmp(&row[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order
+            })
+            .collect();
+
+        FmssmInstance {
+            scenario,
+            prog,
+            switches,
+            switch_pos,
+            controllers,
+            residual,
+            flows,
+            flow_pos,
+            entries_by_flow,
+            entries_by_switch,
+            gamma,
+            delay,
+            ctrl_by_delay,
+        }
+    }
+
+    /// The underlying scenario.
+    pub fn scenario(&self) -> &'a FailureScenario<'net> {
+        self.scenario
+    }
+
+    /// The programmability table.
+    pub fn programmability(&self) -> &'a Programmability {
+        self.prog
+    }
+
+    /// Offline switches, sorted by id (`N = switches().len()`).
+    pub fn switches(&self) -> &[SwitchId] {
+        &self.switches
+    }
+
+    /// Active controllers, sorted by id (`M = controllers().len()`).
+    pub fn controllers(&self) -> &[ControllerId] {
+        &self.controllers
+    }
+
+    /// Offline flows, sorted by id (`L = flows().len()`).
+    pub fn flows(&self) -> &[FlowId] {
+        &self.flows
+    }
+
+    /// Residual capacities aligned with [`FmssmInstance::controllers`].
+    pub fn residuals(&self) -> &[u32] {
+        &self.residual
+    }
+
+    /// Dense position of an offline switch, if it is offline.
+    pub fn switch_position(&self, s: SwitchId) -> Option<usize> {
+        self.switch_pos.get(&s).copied()
+    }
+
+    /// Dense position of an offline flow, if it is offline.
+    pub fn flow_position(&self, l: FlowId) -> Option<usize> {
+        self.flow_pos.get(&l).copied()
+    }
+
+    /// `(switch position, p̄)` entries of flow position `lp`, in path order.
+    pub fn flow_entries(&self, lp: usize) -> &[(usize, u32)] {
+        &self.entries_by_flow[lp]
+    }
+
+    /// `(flow position, p̄)` entries of switch position `ip`.
+    pub fn switch_entries(&self, ip: usize) -> &[(usize, u32)] {
+        &self.entries_by_switch[ip]
+    }
+
+    /// `γ` of switch position `ip`.
+    pub fn gamma(&self, ip: usize) -> u32 {
+        self.gamma[ip]
+    }
+
+    /// `D_ij` for dense positions.
+    pub fn delay(&self, ip: usize, jp: usize) -> f64 {
+        self.delay[ip][jp]
+    }
+
+    /// Controller positions sorted by ascending delay from switch `ip`
+    /// (the paper's `C(i)`).
+    pub fn controllers_by_delay(&self, ip: usize) -> &[usize] {
+        &self.ctrl_by_delay[ip]
+    }
+
+    /// The ideal-recovery delay bound `G` (Eq. (6)).
+    pub fn ideal_delay_g(&self) -> f64 {
+        self.scenario.ideal_delay_g()
+    }
+
+    /// The paper's `TOTAL_ITERATIONS`: the maximum number of (recoverable)
+    /// offline switches on any offline flow's original path.
+    pub fn total_iterations(&self) -> usize {
+        self.entries_by_flow.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Upper bound on the total programmability `Σ_l pro^l`: every `β = 1`
+    /// entry selected.
+    pub fn total_programmability_ub(&self) -> u64 {
+        self.entries_by_flow
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, p)| p as u64))
+            .sum()
+    }
+
+    /// The objective weight λ. Following the paper's reference \[17\], λ is
+    /// chosen small enough that the combined objective `r + λ·Σ pro` is
+    /// lexicographic: any increase of the least programmability `r` (which
+    /// moves in integer steps) outweighs the largest possible change of the
+    /// total, i.e. `λ < 1 / (1 + UB(Σ pro))`.
+    pub fn lambda(&self) -> f64 {
+        1.0 / (1.0 + self.total_programmability_ub() as f64)
+    }
+
+    /// Number of offline flows that have at least one recoverable entry.
+    pub fn recoverable_flow_count(&self) -> usize {
+        self.entries_by_flow
+            .iter()
+            .filter(|row| !row.is_empty())
+            .count()
+    }
+
+    /// Evaluates the FMSSM objective `r + λ·Σ pro` for a per-flow
+    /// programmability vector (aligned with [`FmssmInstance::flows`]),
+    /// where `r` is taken over *recoverable* flows only if
+    /// `recoverable_only` (flows with no `β = 1` offline switch can never
+    /// have positive programmability, so including them pins `r` at 0).
+    pub fn objective(&self, per_flow: &[u64], recoverable_only: bool) -> f64 {
+        assert_eq!(per_flow.len(), self.flows.len());
+        let r = per_flow
+            .iter()
+            .enumerate()
+            .filter(|&(lp, _)| !recoverable_only || !self.entries_by_flow[lp].is_empty())
+            .map(|(_, &p)| p)
+            .min()
+            .unwrap_or(0);
+        let total: u64 = per_flow.iter().sum();
+        r as f64 + self.lambda() * total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_sdwan::SdWanBuilder;
+
+    fn instance_data() -> (pm_sdwan::SdWan, Programmability) {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prog = Programmability::compute(&net);
+        (net, prog)
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        for (i, &s) in inst.switches().iter().enumerate() {
+            assert_eq!(inst.switch_position(s), Some(i));
+        }
+        for (i, &l) in inst.flows().iter().enumerate() {
+            assert_eq!(inst.flow_position(l), Some(i));
+        }
+        assert_eq!(inst.switches().len(), sc.offline_switches().len());
+        assert_eq!(inst.controllers().len(), 4);
+    }
+
+    #[test]
+    fn entries_agree_between_views() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(3)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let mut from_flows = 0usize;
+        for lp in 0..inst.flows().len() {
+            from_flows += inst.flow_entries(lp).len();
+        }
+        let mut from_switches = 0usize;
+        for ip in 0..inst.switches().len() {
+            from_switches += inst.switch_entries(ip).len();
+        }
+        assert_eq!(from_flows, from_switches);
+        assert!(from_flows > 0);
+    }
+
+    #[test]
+    fn entries_only_offline_beta_one() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(0)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        for (lp, &l) in inst.flows().iter().enumerate() {
+            for &(ip, p) in inst.flow_entries(lp) {
+                let s = inst.switches()[ip];
+                assert!(sc.is_offline(s));
+                assert!(prog.beta(l, s));
+                assert_eq!(prog.pbar(l, s), p);
+            }
+        }
+    }
+
+    #[test]
+    fn delays_sorted() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(3)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        for ip in 0..inst.switches().len() {
+            let order = inst.controllers_by_delay(ip);
+            for w in order.windows(2) {
+                assert!(inst.delay(ip, w[0]) <= inst.delay(ip, w[1]) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_preserves_lexicographic_priority() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let ub = inst.total_programmability_ub();
+        assert!(inst.lambda() * (ub as f64) < 1.0);
+    }
+
+    #[test]
+    fn total_iterations_positive() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(3)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        assert!(inst.total_iterations() >= 1);
+    }
+
+    #[test]
+    fn objective_prefers_balanced_min() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(4)]).unwrap(); // small domain {19, 20}
+        let inst = FmssmInstance::new(&sc, &prog);
+        let l = inst.flows().len();
+        // All-zero versus min 1 with smaller total: the min dominates.
+        let zeros = vec![0u64; l];
+        let ones = vec![1u64; l];
+        assert!(inst.objective(&ones, false) > inst.objective(&zeros, false) + 0.5);
+    }
+
+    #[test]
+    fn recoverable_only_min_skips_hopeless_flows() {
+        let (net, prog) = instance_data();
+        let sc = net.fail(&[ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        if inst.recoverable_flow_count() == inst.flows().len() {
+            return; // nothing hopeless in this scenario
+        }
+        let mut per_flow = vec![0u64; inst.flows().len()];
+        for (lp, pf) in per_flow.iter_mut().enumerate() {
+            if !inst.flow_entries(lp).is_empty() {
+                *pf = 3;
+            }
+        }
+        // Over all flows the min is 0; over recoverable ones it is 3.
+        let all = inst.objective(&per_flow, false);
+        let rec = inst.objective(&per_flow, true);
+        assert!(rec > all + 2.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! ProgrammabilityGuardian (PG) — the flow-level middle-layer baseline
+//! (reference \[9\] of the paper).
+//!
+//! PG inserts a FlowVisor-style slicing layer between controllers and
+//! switches, which lets it map each offline flow to *any* active controller
+//! independently of which controller other flows at the same switch use.
+//! That makes recovery maximally fine-grained — PG recovers 100 % of flows
+//! whenever aggregate capacity allows — at two costs the paper highlights:
+//! the middle layer adds processing delay to every control interaction
+//! (0.48 ms per FlowVisor request \[10\]), and PG balances controller load
+//! rather than propagation delay, so its per-flow communication overhead is
+//! the worst of the four solutions (Figs. 4(d), 5(f), 6(f)).
+//!
+//! The exact algorithm of \[9\] is not restated in this paper; we implement
+//! the flow-level balanced recovery it attributes to PG: rounds of
+//! least-programmable-flow-first assignment, each selection going to the
+//! active controller with the most remaining capacity, followed by a
+//! leftover-capacity fill.
+
+use crate::instance::FmssmInstance;
+use crate::{PmError, RecoveryAlgorithm};
+use pm_sdwan::RecoveryPlan;
+
+/// FlowVisor's average per-request processing time, from reference \[10\] of
+/// the paper.
+pub const FLOWVISOR_DELAY_MS: f64 = 0.48;
+
+/// FlowVisor requests per flow-recovery control interaction: re-homing one
+/// flow at one switch costs several middle-layer round trips (port-status
+/// pulls for path computation, the flow-mod, the barrier and its reply),
+/// each paying [`FLOWVISOR_DELAY_MS`]. Ten is the calibration that
+/// reproduces the paper's "PG is about three to four times higher than PM"
+/// per-flow overhead (Fig. 5(f)); see DESIGN.md substitution #4.
+pub const FLOWVISOR_MSGS_PER_RECOVERY: f64 = 10.0;
+
+/// The PG baseline algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Pg {
+    middle_layer_ms: f64,
+}
+
+impl Default for Pg {
+    fn default() -> Self {
+        Pg {
+            middle_layer_ms: FLOWVISOR_DELAY_MS * FLOWVISOR_MSGS_PER_RECOVERY,
+        }
+    }
+}
+
+impl Pg {
+    /// PG with the default FlowVisor delay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// PG with a custom middle-layer processing delay (per control
+    /// interaction, in milliseconds).
+    pub fn with_middle_layer_ms(middle_layer_ms: f64) -> Self {
+        Pg { middle_layer_ms }
+    }
+}
+
+impl RecoveryAlgorithm for Pg {
+    fn name(&self) -> &'static str {
+        "PG"
+    }
+
+    fn middle_layer_ms(&self) -> f64 {
+        self.middle_layer_ms
+    }
+
+    fn is_flow_level(&self) -> bool {
+        true
+    }
+
+    fn recover(&self, inst: &FmssmInstance<'_, '_>) -> Result<RecoveryPlan, PmError> {
+        let m = inst.controllers().len();
+        let l_count = inst.flows().len();
+        let mut a: Vec<i64> = inst.residuals().iter().map(|&r| r as i64).collect();
+        let mut h: Vec<u64> = vec![0; l_count];
+        // Next unused entry index per flow.
+        let mut cursor: Vec<usize> = vec![0; l_count];
+        let mut plan = RecoveryPlan::new();
+
+        // Phase 1: balanced rounds. In each round, every flow currently at
+        // the least programmability (among flows that still have unused
+        // entries) receives one more SDN-mode switch, assigned to the
+        // controller with the most remaining capacity.
+        loop {
+            let active: Vec<usize> = (0..l_count)
+                .filter(|&lp| cursor[lp] < inst.flow_entries(lp).len())
+                .collect();
+            if active.is_empty() || a.iter().all(|&x| x <= 0) {
+                break;
+            }
+            let sigma = active.iter().map(|&lp| h[lp]).min().expect("non-empty");
+            let mut progressed = false;
+            for &lp in &active {
+                if h[lp] != sigma {
+                    continue;
+                }
+                let (ip, pbar) = inst.flow_entries(lp)[cursor[lp]];
+                cursor[lp] += 1;
+                // Most remaining capacity; ties to the lower controller id.
+                let j = (0..m)
+                    .max_by_key(|&j| (a[j], std::cmp::Reverse(j)))
+                    .expect("m > 0");
+                if a[j] <= 0 {
+                    continue;
+                }
+                a[j] -= 1;
+                h[lp] += pbar as u64;
+                plan.set_sdn_via(inst.switches()[ip], inst.flows()[lp], inst.controllers()[j]);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Phase 2: spend leftovers on any remaining entries.
+        #[allow(clippy::needless_range_loop)] // cursor and entries are parallel
+        'outer: for lp in 0..l_count {
+            while cursor[lp] < inst.flow_entries(lp).len() {
+                let (ip, _pbar) = inst.flow_entries(lp)[cursor[lp]];
+                let j = (0..m)
+                    .max_by_key(|&j| (a[j], std::cmp::Reverse(j)))
+                    .expect("m > 0");
+                if a[j] <= 0 {
+                    break 'outer;
+                }
+                cursor[lp] += 1;
+                a[j] -= 1;
+                plan.set_sdn_via(inst.switches()[ip], inst.flows()[lp], inst.controllers()[j]);
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWanBuilder};
+
+    fn setup() -> (pm_sdwan::SdWan, Programmability) {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prog = Programmability::compute(&net);
+        (net, prog)
+    }
+
+    #[test]
+    fn valid_flow_level_plans() {
+        let (net, prog) = setup();
+        for c in 0..6 {
+            let sc = net.fail(&[ControllerId(c)]).unwrap();
+            let inst = FmssmInstance::new(&sc, &prog);
+            let plan = Pg::new().recover(&inst).unwrap();
+            plan.validate(&sc, &prog, true).unwrap();
+        }
+    }
+
+    #[test]
+    fn recovers_all_recoverable_flows_under_headline_failure() {
+        // Flow-level granularity: even when γ(s13) fits no controller, PG
+        // splits the hub's flows across controllers.
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let plan = Pg::new().recover(&inst).unwrap();
+        plan.validate(&sc, &prog, true).unwrap();
+        let metrics = PlanMetrics::compute(&sc, &prog, &plan, 0.0);
+        // PG recovers at least one flow per recoverable flow or runs the
+        // controllers dry trying.
+        let capacity: u32 = sc
+            .active_controllers()
+            .iter()
+            .map(|&c| sc.residual_capacity(c))
+            .sum();
+        assert!(
+            metrics.recovered_flows == inst.recoverable_flow_count()
+                || metrics.total_capacity_used() == capacity,
+            "PG must recover everything or exhaust capacity"
+        );
+    }
+
+    #[test]
+    fn hub_flows_split_across_controllers() {
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let plan = Pg::new().recover(&inst).unwrap();
+        let hub = pm_sdwan::SwitchId(13);
+        let ctrls: std::collections::BTreeSet<_> = plan
+            .sdn_selections()
+            .filter(|&(s, _, _)| s == hub)
+            .map(|(_, _, c)| c)
+            .collect();
+        assert!(
+            ctrls.len() >= 2,
+            "hub flows must be split across ≥ 2 controllers: {ctrls:?}"
+        );
+    }
+
+    #[test]
+    fn middle_layer_delay_reported() {
+        assert_eq!(
+            Pg::new().middle_layer_ms(),
+            FLOWVISOR_DELAY_MS * FLOWVISOR_MSGS_PER_RECOVERY
+        );
+        assert_eq!(Pg::with_middle_layer_ms(1.0).middle_layer_ms(), 1.0);
+        assert!(Pg::new().is_flow_level());
+    }
+
+    #[test]
+    fn balanced_least_programmability() {
+        // PG's min programmability over recoverable flows should match PM's
+        // (both balance before maximizing).
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let plan = Pg::new().recover(&inst).unwrap();
+        let metrics = PlanMetrics::compute(&sc, &prog, &plan, 0.0);
+        // Every recoverable flow got at least its first entry (capacity
+        // permitting): min over recovered flows ≥ 2.
+        let recovered_min = metrics
+            .per_flow_programmability
+            .iter()
+            .filter(|&&p| p > 0)
+            .min()
+            .copied()
+            .unwrap_or(0);
+        assert!(recovered_min >= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, prog) = setup();
+        let sc = net.fail(&[ControllerId(3), ControllerId(5)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        assert_eq!(
+            Pg::new().recover(&inst).unwrap(),
+            Pg::new().recover(&inst).unwrap()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Edge cases: degenerate instances every algorithm must survive.
+
+use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWanBuilder};
+use pm_topo::{builders, NodeId};
+
+/// On an odd ring no flow has any loop-free alternate: every offline flow
+/// is structurally unrecoverable, and every algorithm must return an
+/// empty-but-valid plan rather than panic or spin.
+#[test]
+fn ring_with_no_programmability_yields_empty_recovery() {
+    let net = SdWanBuilder::new(builders::ring(7))
+        .controller(NodeId(0), 1_000)
+        .controller(NodeId(3), 1_000)
+        .build()
+        .unwrap();
+    let prog = Programmability::compute(&net);
+    let scenario = net.fail(&[ControllerId(0)]).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    assert_eq!(inst.recoverable_flow_count(), 0);
+    assert_eq!(inst.total_iterations(), 0);
+
+    for algo in [
+        &RetroFlow::new() as &dyn RecoveryAlgorithm,
+        &Pm::new(),
+        &Pg::new(),
+    ] {
+        let plan = algo.recover(&inst).unwrap();
+        plan.validate(&scenario, &prog, algo.is_flow_level())
+            .unwrap();
+        let m = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        assert_eq!(m.total_programmability, 0, "{}", algo.name());
+        assert_eq!(m.recovered_flows, 0);
+        assert_eq!(m.recoverable_flows, 0);
+        assert_eq!(
+            m.recovered_fraction_of_recoverable(),
+            1.0,
+            "vacuous = fully recovered"
+        );
+    }
+}
+
+/// Zero residual capacity everywhere: algorithms must not assign anything.
+#[test]
+fn zero_capacity_recovers_nothing() {
+    // Capacity exactly equal to each controller's own load → residual 0.
+    let probe = SdWanBuilder::new(builders::grid(3, 3))
+        .controller(NodeId(0), 100_000)
+        .controller(NodeId(8), 100_000)
+        .build()
+        .unwrap();
+    let caps: Vec<u32> = (0..2)
+        .map(|c| probe.controller_load(ControllerId(c)))
+        .collect();
+    let mut b = SdWanBuilder::new(probe.topology().clone());
+    for (c, &cap) in caps.iter().enumerate() {
+        let node = probe.controllers()[c].node;
+        b = b.controller(node, cap);
+    }
+    let net = b.build().unwrap();
+    let prog = Programmability::compute(&net);
+    let scenario = net.fail(&[ControllerId(0)]).unwrap();
+    assert!(scenario
+        .active_controllers()
+        .iter()
+        .all(|&c| scenario.residual_capacity(c) == 0));
+    let inst = FmssmInstance::new(&scenario, &prog);
+    for algo in [
+        &RetroFlow::new() as &dyn RecoveryAlgorithm,
+        &Pm::new(),
+        &Pg::new(),
+    ] {
+        let plan = algo.recover(&inst).unwrap();
+        plan.validate(&scenario, &prog, algo.is_flow_level())
+            .unwrap();
+        assert_eq!(
+            plan.sdn_count(),
+            0,
+            "{} assigned flows with zero capacity",
+            algo.name()
+        );
+    }
+}
+
+/// A single surviving controller must absorb what it can.
+#[test]
+fn single_survivor() {
+    let net = SdWanBuilder::att_paper_setup().build().unwrap();
+    let prog = Programmability::compute(&net);
+    let failed: Vec<ControllerId> = (0..5).map(ControllerId).collect(); // only C22 lives
+    let scenario = net.fail(&failed).unwrap();
+    assert_eq!(scenario.active_controllers(), &[ControllerId(5)]);
+    let inst = FmssmInstance::new(&scenario, &prog);
+    for algo in [
+        &RetroFlow::new() as &dyn RecoveryAlgorithm,
+        &Pm::new(),
+        &Pg::new(),
+    ] {
+        let plan = algo.recover(&inst).unwrap();
+        plan.validate(&scenario, &prog, algo.is_flow_level())
+            .unwrap();
+        let m = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        // Whatever is recovered must fit within C22's residual.
+        assert!(m.total_capacity_used() <= scenario.residual_capacity(ControllerId(5)));
+    }
+    // PM and PG must use the lone survivor's full capacity (obj₂).
+    let plan = Pm::new().recover(&inst).unwrap();
+    let m = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+    assert_eq!(
+        m.total_capacity_used(),
+        scenario.residual_capacity(ControllerId(5)).min(
+            (0..inst.flows().len())
+                .map(|lp| inst.flow_entries(lp).len() as u32)
+                .sum()
+        ),
+        "PM must exhaust capacity or entries"
+    );
+}
+
+/// Two-switch network: the smallest possible SD-WAN.
+#[test]
+fn minimal_network() {
+    let g = pm_topo::Graph::from_edges(2, [(0, 1, 1.0)]).unwrap();
+    let net = SdWanBuilder::new(g)
+        .controller(NodeId(0), 10)
+        .controller(NodeId(1), 10)
+        .build()
+        .unwrap();
+    assert_eq!(net.flows().len(), 2);
+    let prog = Programmability::compute(&net);
+    let scenario = net.fail(&[ControllerId(0)]).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    // One link, no alternates: nothing recoverable, but nothing crashes.
+    assert_eq!(inst.recoverable_flow_count(), 0);
+    let plan = Pm::new().recover(&inst).unwrap();
+    plan.validate(&scenario, &prog, false).unwrap();
+}

@@ -1,0 +1,143 @@
+//! Property tests: on random networks and failure patterns, every recovery
+//! algorithm must produce valid plans, respect capacity, and uphold its
+//! documented guarantees.
+
+use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWan, SdWanBuilder};
+use pm_topo::builders::{waxman, WaxmanParams};
+use pm_topo::NodeId;
+use proptest::prelude::*;
+
+/// A random SD-WAN: Waxman topology, 2–4 controllers at distinct nodes,
+/// capacity tight enough to matter sometimes.
+fn arb_net() -> impl Strategy<Value = (SdWan, Vec<ControllerId>)> {
+    (8usize..=18, 0u64..1000, 2usize..=4, 1usize..=3, 50u32..400).prop_filter_map(
+        "buildable network with a valid failure pattern",
+        |(nodes, seed, ctrls, fail_count, capacity)| {
+            let g = waxman(&WaxmanParams {
+                nodes,
+                seed,
+                ..Default::default()
+            })
+            .ok()?;
+            let step = nodes / ctrls;
+            let mut b = SdWanBuilder::new(g);
+            for c in 0..ctrls {
+                b = b.controller(NodeId(c * step), capacity);
+            }
+            let net = b.allow_overload().build().ok()?;
+            // Overloaded controllers make residual capacity zero, which is
+            // legal; but reject nets where *every* controller is overloaded
+            // (nothing interesting to test).
+            if (0..ctrls).all(|c| net.residual_capacity(ControllerId(c)) == 0) {
+                return None;
+            }
+            if fail_count >= ctrls {
+                return None;
+            }
+            let failed: Vec<ControllerId> = (0..fail_count).map(ControllerId).collect();
+            Some((net, failed))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three heuristics produce plans that pass full FMSSM validation.
+    #[test]
+    fn heuristics_always_produce_valid_plans((net, failed) in arb_net()) {
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&failed).unwrap();
+        let inst = FmssmInstance::new(&scenario, &prog);
+        for algo in [&RetroFlow::new() as &dyn RecoveryAlgorithm, &Pm::new(), &Pg::new()] {
+            let plan = algo.recover(&inst).unwrap();
+            prop_assert!(
+                plan.validate(&scenario, &prog, algo.is_flow_level()).is_ok(),
+                "{} produced an invalid plan: {:?}",
+                algo.name(),
+                plan.validate(&scenario, &prog, algo.is_flow_level())
+            );
+        }
+    }
+
+    /// PM never recovers fewer flows than RetroFlow: per-flow granularity
+    /// strictly generalizes whole-switch remapping under the same capacity.
+    #[test]
+    fn pm_recovers_at_least_as_many_flows_as_retroflow((net, failed) in arb_net()) {
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&failed).unwrap();
+        let inst = FmssmInstance::new(&scenario, &prog);
+        let m_pm = PlanMetrics::compute(
+            &scenario, &prog, &Pm::new().recover(&inst).unwrap(), 0.0);
+        let m_rf = PlanMetrics::compute(
+            &scenario, &prog, &RetroFlow::new().recover(&inst).unwrap(), 0.0);
+        prop_assert!(
+            m_pm.recovered_flows >= m_rf.recovered_flows,
+            "PM {} < RetroFlow {}", m_pm.recovered_flows, m_rf.recovered_flows
+        );
+    }
+
+    /// Capacity accounting: no algorithm overcommits any controller, and
+    /// metrics agree with the plan's own usage map.
+    #[test]
+    fn capacity_never_overcommitted((net, failed) in arb_net()) {
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&failed).unwrap();
+        let inst = FmssmInstance::new(&scenario, &prog);
+        for algo in [&RetroFlow::new() as &dyn RecoveryAlgorithm, &Pm::new(), &Pg::new()] {
+            let plan = algo.recover(&inst).unwrap();
+            let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+            for u in &metrics.controller_usage {
+                prop_assert!(u.used <= u.available, "{} overcommits {u:?}", algo.name());
+            }
+        }
+    }
+
+    /// Per-flow programmability never exceeds the flow's structural upper
+    /// bound (all β = 1 offline switches selected).
+    #[test]
+    fn programmability_bounded_by_structure((net, failed) in arb_net()) {
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&failed).unwrap();
+        let inst = FmssmInstance::new(&scenario, &prog);
+        let plan = Pm::new().recover(&inst).unwrap();
+        let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        for (lp, &p) in metrics.per_flow_programmability.iter().enumerate() {
+            let ub: u64 = inst.flow_entries(lp).iter().map(|&(_, pb)| pb as u64).sum();
+            prop_assert!(p <= ub, "flow {lp}: {p} > structural bound {ub}");
+        }
+    }
+
+    /// PG's flow-level freedom: whenever aggregate capacity covers all
+    /// recoverable flows, PG recovers them all.
+    #[test]
+    fn pg_recovers_everything_capacity_allows((net, failed) in arb_net()) {
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&failed).unwrap();
+        let inst = FmssmInstance::new(&scenario, &prog);
+        let total_capacity: u64 = inst.residuals().iter().map(|&r| r as u64).sum();
+        let plan = Pg::new().recover(&inst).unwrap();
+        let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        if total_capacity >= inst.recoverable_flow_count() as u64 {
+            prop_assert_eq!(
+                metrics.recovered_flows, inst.recoverable_flow_count(),
+                "PG left flows behind with capacity to spare"
+            );
+        }
+    }
+
+    /// Determinism across repeated runs (same inputs, same plan).
+    #[test]
+    fn algorithms_are_deterministic((net, failed) in arb_net()) {
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&failed).unwrap();
+        let inst = FmssmInstance::new(&scenario, &prog);
+        prop_assert_eq!(Pm::new().recover(&inst).unwrap(), Pm::new().recover(&inst).unwrap());
+        prop_assert_eq!(Pg::new().recover(&inst).unwrap(), Pg::new().recover(&inst).unwrap());
+        prop_assert_eq!(
+            RetroFlow::new().recover(&inst).unwrap(),
+            RetroFlow::new().recover(&inst).unwrap()
+        );
+    }
+}

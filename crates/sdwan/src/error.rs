@@ -1,0 +1,51 @@
+use crate::network::{ControllerId, FlowId, SwitchId};
+use std::fmt;
+
+/// Errors from SD-WAN construction, failure injection and plan validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdwanError {
+    /// The underlying topology error.
+    Topo(pm_topo::TopoError),
+    /// A controller id was out of range.
+    UnknownController(ControllerId),
+    /// A switch id was out of range.
+    UnknownSwitch(SwitchId),
+    /// A flow id was out of range.
+    UnknownFlow(FlowId),
+    /// The network definition is inconsistent (message explains why).
+    InvalidNetwork(String),
+    /// A failure scenario is invalid (e.g. every controller failed).
+    InvalidScenario(String),
+    /// A recovery plan violates a hard constraint of the FMSSM problem.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for SdwanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdwanError::Topo(e) => write!(f, "topology error: {e}"),
+            SdwanError::UnknownController(c) => write!(f, "unknown controller {c}"),
+            SdwanError::UnknownSwitch(s) => write!(f, "unknown switch {s}"),
+            SdwanError::UnknownFlow(l) => write!(f, "unknown flow {l}"),
+            SdwanError::InvalidNetwork(m) => write!(f, "invalid network: {m}"),
+            SdwanError::InvalidScenario(m) => write!(f, "invalid failure scenario: {m}"),
+            SdwanError::InvalidPlan(m) => write!(f, "invalid recovery plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SdwanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdwanError::Topo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pm_topo::TopoError> for SdwanError {
+    fn from(e: pm_topo::TopoError) -> Self {
+        SdwanError::Topo(e)
+    }
+}

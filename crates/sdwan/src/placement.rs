@@ -1,0 +1,262 @@
+//! Controller placement strategies.
+//!
+//! The paper assumes a given placement (Table III); its related-work
+//! section surveys the Reliable Controller Placement literature (\[22\]–\[24\]).
+//! This module provides the standard heuristics so users can build
+//! SD-WANs over arbitrary topologies: greedy k-center (minimize the worst
+//! switch-to-controller delay — the resilience-oriented choice), greedy
+//! k-median (minimize the average delay), and top-degree placement (a
+//! common strawman).
+
+use crate::SdwanError;
+use pm_topo::{paths, Graph, NodeId};
+
+/// Placement objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Greedy 2-approximation of k-center: repeatedly add the node farthest
+    /// from the chosen set. Seeded with the graph's weighted center (the
+    /// node of minimum eccentricity) for determinism and quality.
+    KCenter,
+    /// Greedy k-median: repeatedly add the node that most reduces the total
+    /// shortest-path distance from all nodes to their nearest site.
+    KMedian,
+    /// The `k` highest-degree nodes (ties to lower id).
+    TopDegree,
+}
+
+/// Picks `k` controller sites on `g` using `strategy`.
+///
+/// # Example
+///
+/// ```
+/// use pm_sdwan::{place_controllers, PlacementStrategy};
+/// let g = pm_topo::att::att_backbone();
+/// let sites = place_controllers(&g, 6, PlacementStrategy::KCenter)?;
+/// assert_eq!(sites.len(), 6);
+/// # Ok::<(), pm_sdwan::SdwanError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SdwanError::InvalidNetwork`] if `k` is zero, exceeds the node
+/// count, or the graph is disconnected (placement distances would be
+/// infinite).
+pub fn place_controllers(
+    g: &Graph,
+    k: usize,
+    strategy: PlacementStrategy,
+) -> Result<Vec<NodeId>, SdwanError> {
+    let n = g.node_count();
+    if k == 0 || k > n {
+        return Err(SdwanError::InvalidNetwork(format!(
+            "cannot place {k} controllers on {n} nodes"
+        )));
+    }
+    if !g.is_connected() {
+        return Err(SdwanError::InvalidNetwork(
+            "placement needs a connected graph".into(),
+        ));
+    }
+    let spts = paths::all_pairs(g);
+    let dist = |a: NodeId, b: NodeId| spts[a.index()].distances()[b.index()];
+
+    let sites = match strategy {
+        PlacementStrategy::TopDegree => {
+            let mut order: Vec<NodeId> = g.nodes().collect();
+            order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+            order.truncate(k);
+            order.sort();
+            order
+        }
+        PlacementStrategy::KCenter => {
+            // Seed: minimum-eccentricity node.
+            let seed = g
+                .nodes()
+                .min_by(|&a, &b| {
+                    let ea = g.nodes().map(|v| dist(a, v)).fold(0.0, f64::max);
+                    let eb = g.nodes().map(|v| dist(b, v)).fold(0.0, f64::max);
+                    ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty graph");
+            let mut sites = vec![seed];
+            while sites.len() < k {
+                let next = g
+                    .nodes()
+                    .filter(|v| !sites.contains(v))
+                    .max_by(|&a, &b| {
+                        let da = sites
+                            .iter()
+                            .map(|&s| dist(s, a))
+                            .fold(f64::INFINITY, f64::min);
+                        let db = sites
+                            .iter()
+                            .map(|&s| dist(s, b))
+                            .fold(f64::INFINITY, f64::min);
+                        da.partial_cmp(&db)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            // Ties to the lower node id (max_by keeps the
+                            // later maximum, so invert the id ordering).
+                            .then_with(|| b.cmp(&a))
+                    })
+                    .expect("k <= n");
+                sites.push(next);
+            }
+            sites.sort();
+            sites
+        }
+        PlacementStrategy::KMedian => {
+            let mut sites: Vec<NodeId> = Vec::new();
+            let mut best_dist = vec![f64::INFINITY; n];
+            while sites.len() < k {
+                let next = g
+                    .nodes()
+                    .filter(|v| !sites.contains(v))
+                    .min_by(|&a, &b| {
+                        let cost = |cand: NodeId| -> f64 {
+                            (0..n)
+                                .map(|v| best_dist[v].min(dist(cand, NodeId(v))))
+                                .sum()
+                        };
+                        cost(a)
+                            .partial_cmp(&cost(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| a.cmp(&b))
+                    })
+                    .expect("k <= n");
+                for (v, bd) in best_dist.iter_mut().enumerate() {
+                    *bd = bd.min(dist(next, NodeId(v)));
+                }
+                sites.push(next);
+            }
+            sites.sort();
+            sites
+        }
+    };
+    Ok(sites)
+}
+
+/// The k-center objective value of a placement: the worst shortest-path
+/// distance from any node to its nearest site.
+pub fn placement_radius(g: &Graph, sites: &[NodeId]) -> f64 {
+    let spts: Vec<_> = sites.iter().map(|&s| paths::dijkstra(g, s)).collect();
+    g.nodes()
+        .map(|v| {
+            spts.iter()
+                .map(|t| t.distances()[v.index()])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The k-median objective value: the total distance from all nodes to
+/// their nearest site.
+pub fn placement_total_distance(g: &Graph, sites: &[NodeId]) -> f64 {
+    let spts: Vec<_> = sites.iter().map(|&s| paths::dijkstra(g, s)).collect();
+    g.nodes()
+        .map(|v| {
+            spts.iter()
+                .map(|t| t.distances()[v.index()])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_topo::builders;
+
+    fn line(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0))).unwrap()
+    }
+
+    #[test]
+    fn single_center_of_a_line_is_the_middle() {
+        let g = line(7);
+        let sites = place_controllers(&g, 1, PlacementStrategy::KCenter).unwrap();
+        assert_eq!(sites, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn kcenter_radius_decreases_with_k() {
+        let g = builders::grid(4, 5);
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let sites = place_controllers(&g, k, PlacementStrategy::KCenter).unwrap();
+            assert_eq!(sites.len(), k);
+            let r = placement_radius(&g, &sites);
+            assert!(r <= prev + 1e-9, "radius grew from {prev} to {r} at k={k}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn kmedian_total_decreases_with_k() {
+        let g = builders::grid(4, 5);
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let sites = place_controllers(&g, k, PlacementStrategy::KMedian).unwrap();
+            let t = placement_total_distance(&g, &sites);
+            assert!(t <= prev + 1e-9);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn top_degree_picks_hubs() {
+        let g = builders::star(6);
+        let sites = place_controllers(&g, 1, PlacementStrategy::TopDegree).unwrap();
+        assert_eq!(sites, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn sites_are_distinct_and_sorted() {
+        let g = builders::grid(3, 4);
+        for strategy in [
+            PlacementStrategy::KCenter,
+            PlacementStrategy::KMedian,
+            PlacementStrategy::TopDegree,
+        ] {
+            let sites = place_controllers(&g, 4, strategy).unwrap();
+            assert_eq!(sites.len(), 4);
+            assert!(
+                sites.windows(2).all(|w| w[0] < w[1]),
+                "{strategy:?}: {sites:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let g = builders::ring(4);
+        assert!(place_controllers(&g, 0, PlacementStrategy::KCenter).is_err());
+        assert!(place_controllers(&g, 5, PlacementStrategy::KCenter).is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut g = builders::ring(4);
+        g.add_node("island", None);
+        assert!(place_controllers(&g, 2, PlacementStrategy::KCenter).is_err());
+    }
+
+    #[test]
+    fn att_kcenter_beats_top_degree_on_radius() {
+        let g = pm_topo::att::att_backbone();
+        let kc = place_controllers(&g, 6, PlacementStrategy::KCenter).unwrap();
+        let td = place_controllers(&g, 6, PlacementStrategy::TopDegree).unwrap();
+        assert!(placement_radius(&g, &kc) <= placement_radius(&g, &td) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = builders::grid(4, 4);
+        for strategy in [PlacementStrategy::KCenter, PlacementStrategy::KMedian] {
+            assert_eq!(
+                place_controllers(&g, 3, strategy).unwrap(),
+                place_controllers(&g, 3, strategy).unwrap()
+            );
+        }
+    }
+}

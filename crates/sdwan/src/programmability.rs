@@ -1,0 +1,210 @@
+//! Per-flow per-switch programmability quantities: `β_i^l` and `p̄_i^l`.
+//!
+//! For flow `f^l` and switch `s_i` on its forwarding path, the paper defines
+//! `β_i^l = 1` iff `s_i` has at least two paths to the flow's destination,
+//! and `p_i^l` as the number of paths from `s_i`'s next hops to the
+//! destination. We compute both from the destination-rooted loop-free
+//! alternate DAG (see [`pm_topo::paths::PathCounts`]): `p_i^l` is the DAG
+//! path count from `s_i`, and `β_i^l = 1` iff that count is at least two.
+//! `p̄_i^l = β_i^l · p_i^l` is the quantity the objective sums.
+
+use crate::network::{FlowId, SdWan, SwitchId};
+use pm_topo::paths::PathCounts;
+use std::collections::HashMap;
+
+/// Precomputed programmability data for every flow of a network.
+#[derive(Debug, Clone)]
+pub struct Programmability {
+    /// Per flow: the `(switch, p̄)` entries with `β = 1`, in path order.
+    entries: Vec<Vec<(SwitchId, u32)>>,
+    /// Flat lookup `(flow, switch) → p̄` for `β = 1` pairs.
+    lookup: HashMap<(FlowId, SwitchId), u32>,
+}
+
+impl Programmability {
+    /// Computes `β` and `p̄` for every flow in `net`.
+    ///
+    /// One loop-free path-count pass is run per distinct destination, so
+    /// this is `O(#destinations · E)` plus the per-flow path scans.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pm_sdwan::{Programmability, SdWanBuilder, FlowId};
+    /// let net = SdWanBuilder::att_paper_setup().build()?;
+    /// let prog = Programmability::compute(&net);
+    /// // Every β = 1 entry means the switch can offer ≥ 2 loop-free paths.
+    /// for &(s, pbar) in prog.flow_entries(FlowId(0)) {
+    ///     assert!(prog.beta(FlowId(0), s) && pbar >= 2);
+    /// }
+    /// # Ok::<(), pm_sdwan::SdwanError>(())
+    /// ```
+    pub fn compute(net: &SdWan) -> Self {
+        let mut by_dest: HashMap<SwitchId, PathCounts> = HashMap::new();
+        let mut entries = Vec::with_capacity(net.flows().len());
+        let mut lookup = HashMap::new();
+        for (l, flow) in net.flows().iter().enumerate() {
+            let pc = by_dest
+                .entry(flow.dst)
+                .or_insert_with(|| PathCounts::toward(net.topology(), flow.dst.node()));
+            let mut flow_entries = Vec::new();
+            for &s in &flow.path {
+                if s == flow.dst {
+                    continue; // the destination cannot reroute the flow
+                }
+                let count = pc.count_from(s.node());
+                if count >= 2 {
+                    let pbar = count.min(u32::MAX as u64) as u32;
+                    flow_entries.push((s, pbar));
+                    lookup.insert((FlowId(l), s), pbar);
+                }
+            }
+            entries.push(flow_entries);
+        }
+        Programmability { entries, lookup }
+    }
+
+    /// `β_i^l`: can switch `s` reroute flow `l`? (`s` must be on the path
+    /// and have ≥ 2 loop-free paths to the destination.)
+    pub fn beta(&self, l: FlowId, s: SwitchId) -> bool {
+        self.lookup.contains_key(&(l, s))
+    }
+
+    /// `p̄_i^l = β_i^l · p_i^l`: the programmability flow `l` gains when
+    /// switch `s` routes it in SDN mode, or 0 when `β_i^l = 0`.
+    pub fn pbar(&self, l: FlowId, s: SwitchId) -> u32 {
+        self.lookup.get(&(l, s)).copied().unwrap_or(0)
+    }
+
+    /// The `(switch, p̄)` pairs with `β = 1` for flow `l`, in path order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn flow_entries(&self, l: FlowId) -> &[(SwitchId, u32)] {
+        &self.entries[l.0]
+    }
+
+    /// Upper bound on flow `l`'s programmability: every `β = 1` switch on
+    /// its path in SDN mode.
+    pub fn max_programmability(&self, l: FlowId) -> u64 {
+        self.entries[l.0].iter().map(|&(_, p)| p as u64).sum()
+    }
+
+    /// Number of flows known to this table.
+    pub fn flow_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SdWanBuilder;
+    use pm_topo::{builders, NodeId};
+
+    fn ring_net() -> SdWan {
+        SdWanBuilder::new(builders::ring(5))
+            .controller(NodeId(0), 100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ring_has_no_programmability() {
+        // On an odd ring every pair has a unique shortest path and the
+        // loop-free alternate DAG toward any destination is a pair of
+        // disjoint arcs: every node has exactly one loop-free path, so
+        // β = 0 everywhere. (Even rings differ: antipodal pairs have two
+        // equal-cost paths.)
+        let net = ring_net();
+        let prog = Programmability::compute(&net);
+        for l in 0..net.flows().len() {
+            assert!(prog.flow_entries(FlowId(l)).is_empty());
+            assert_eq!(prog.max_programmability(FlowId(l)), 0);
+        }
+    }
+
+    #[test]
+    fn grid_has_programmability() {
+        let net = SdWanBuilder::new(builders::grid(3, 3))
+            .controller(NodeId(0), 500)
+            .build()
+            .unwrap();
+        let prog = Programmability::compute(&net);
+        // The corner-to-corner flow must be reroutable at its source.
+        let (l, flow) = net
+            .flows()
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.src == SwitchId(0) && f.dst == SwitchId(8))
+            .expect("all-pairs flows include corner to corner");
+        let l = FlowId(l);
+        assert!(
+            prog.beta(l, flow.src),
+            "corner switch must have ≥ 2 loop-free paths"
+        );
+        assert!(prog.pbar(l, flow.src) >= 2);
+    }
+
+    #[test]
+    fn destination_never_programmable() {
+        let net = SdWanBuilder::new(builders::grid(3, 3))
+            .controller(NodeId(0), 500)
+            .build()
+            .unwrap();
+        let prog = Programmability::compute(&net);
+        for (l, flow) in net.flows().iter().enumerate() {
+            assert!(!prog.beta(FlowId(l), flow.dst));
+            assert_eq!(prog.pbar(FlowId(l), flow.dst), 0);
+        }
+    }
+
+    #[test]
+    fn entries_follow_path_order_and_match_lookup() {
+        let net = SdWanBuilder::new(builders::grid(4, 4))
+            .controller(NodeId(0), 5000)
+            .build()
+            .unwrap();
+        let prog = Programmability::compute(&net);
+        for (l, flow) in net.flows().iter().enumerate() {
+            let l = FlowId(l);
+            let mut last_pos = 0;
+            for &(s, p) in prog.flow_entries(l) {
+                let pos = flow
+                    .path
+                    .iter()
+                    .position(|&x| x == s)
+                    .expect("entry on path");
+                assert!(pos >= last_pos, "entries out of path order");
+                last_pos = pos;
+                assert_eq!(prog.pbar(l, s), p);
+                assert!(p >= 2, "β = 1 requires at least two paths");
+            }
+        }
+    }
+
+    #[test]
+    fn off_path_switch_has_beta_zero() {
+        let net = ring_net();
+        let prog = Programmability::compute(&net);
+        // Flow 0 goes 0 -> 1; switch 3 is not on its path.
+        let f0 = &net.flows()[0];
+        assert!(!f0.traverses(SwitchId(3)));
+        assert!(!prog.beta(FlowId(0), SwitchId(3)));
+    }
+
+    #[test]
+    fn att_backbone_has_rich_programmability() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prog = Programmability::compute(&net);
+        let programmable_flows = (0..net.flows().len())
+            .filter(|&l| !prog.flow_entries(FlowId(l)).is_empty())
+            .count();
+        // The vast majority of the 600 flows must be recoverable somewhere.
+        assert!(
+            programmable_flows > 400,
+            "only {programmable_flows}/600 flows have any β = 1 switch"
+        );
+    }
+}

@@ -1,0 +1,630 @@
+//! Network construction and controller-failure scenarios.
+
+use crate::network::{Controller, ControllerId, Flow, FlowId, SdWan, SwitchId};
+use crate::SdwanError;
+use pm_topo::{att, paths, Graph, NodeId};
+
+/// Builder for an [`SdWan`].
+///
+/// # Example
+///
+/// ```
+/// use pm_sdwan::SdWanBuilder;
+/// use pm_topo::builders;
+///
+/// let net = SdWanBuilder::new(builders::ring(6))
+///     .controller(pm_topo::NodeId(0), 100)
+///     .controller(pm_topo::NodeId(3), 100)
+///     .all_pairs_flows()
+///     .build()?;
+/// assert_eq!(net.flows().len(), 30);
+/// # Ok::<(), pm_sdwan::SdwanError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SdWanBuilder {
+    topology: Graph,
+    controllers: Vec<Controller>,
+    /// Explicit domains: `domains[c]` = switch indices owned by controller
+    /// `c`. When `None`, every switch joins its nearest controller.
+    domains: Option<Vec<Vec<usize>>>,
+    flow_pairs: FlowSpec,
+    allow_overload: bool,
+}
+
+#[derive(Debug, Clone)]
+enum FlowSpec {
+    AllPairs,
+    Explicit(Vec<(SwitchId, SwitchId)>),
+}
+
+impl SdWanBuilder {
+    /// Starts a builder over `topology`.
+    pub fn new(topology: Graph) -> Self {
+        SdWanBuilder {
+            topology,
+            controllers: Vec::new(),
+            domains: None,
+            flow_pairs: FlowSpec::AllPairs,
+            allow_overload: false,
+        }
+    }
+
+    /// The paper's evaluation setup: embedded ATT-like backbone, six
+    /// controllers at nodes {2, 5, 6, 13, 20, 22} with capacity 500, the
+    /// Table III domain partition, and one flow per ordered node pair.
+    pub fn att_paper_setup() -> Self {
+        Self::att_paper_setup_with_capacity(att::DEFAULT_CONTROLLER_CAPACITY)
+    }
+
+    /// The paper's setup with a different uniform controller capacity —
+    /// for sensitivity studies around the paper's value of 500. Capacities
+    /// below the heaviest domain load fail the builder's overload check;
+    /// chain [`SdWanBuilder::allow_overload`] to study that regime (the
+    /// affected controller then has zero residual capacity).
+    pub fn att_paper_setup_with_capacity(capacity: u32) -> Self {
+        let mut b = SdWanBuilder::new(att::att_backbone());
+        let mut domains = Vec::new();
+        for (ctrl_node, switches) in att::DEFAULT_DOMAINS {
+            b = b.controller(NodeId(ctrl_node), capacity);
+            domains.push(switches.to_vec());
+        }
+        b.domains = Some(domains);
+        b
+    }
+
+    /// Adds a controller at `node` with the given capacity.
+    pub fn controller(mut self, node: NodeId, capacity: u32) -> Self {
+        self.controllers.push(Controller { node, capacity });
+        self
+    }
+
+    /// Sets explicit domains: `domains[c]` lists the switch indices owned by
+    /// controller `c`. Without this, switches join their nearest controller.
+    pub fn domains(mut self, domains: Vec<Vec<usize>>) -> Self {
+        self.domains = Some(domains);
+        self
+    }
+
+    /// Routes one flow per ordered node pair on the shortest path (the
+    /// paper's traffic model). This is the default.
+    pub fn all_pairs_flows(mut self) -> Self {
+        self.flow_pairs = FlowSpec::AllPairs;
+        self
+    }
+
+    /// Routes exactly the given `(src, dst)` flows instead of all pairs.
+    pub fn explicit_flows(mut self, pairs: Vec<(SwitchId, SwitchId)>) -> Self {
+        self.flow_pairs = FlowSpec::Explicit(pairs);
+        self
+    }
+
+    /// Permits controller domains whose normal-operation load exceeds the
+    /// controller capacity (rejected by default).
+    pub fn allow_overload(mut self) -> Self {
+        self.allow_overload = true;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdwanError::InvalidNetwork`] if there are no controllers, a
+    /// controller node is out of range, the topology is disconnected (with
+    /// all-pairs flows), the explicit domains do not partition the switch
+    /// set, a flow endpoint is invalid, or (unless [`allow_overload`]) a
+    /// controller's normal load exceeds its capacity.
+    ///
+    /// [`allow_overload`]: SdWanBuilder::allow_overload
+    pub fn build(self) -> Result<SdWan, SdwanError> {
+        let n = self.topology.node_count();
+        if self.controllers.is_empty() {
+            return Err(SdwanError::InvalidNetwork("no controllers".into()));
+        }
+        for c in &self.controllers {
+            self.topology.check_node(c.node)?;
+        }
+
+        // Shortest-path trees from every node (flow routing + delays).
+        if !self.topology.is_connected() {
+            return Err(SdwanError::InvalidNetwork(
+                "topology must be connected".into(),
+            ));
+        }
+        let spts = paths::all_pairs(&self.topology);
+
+        // Domains.
+        let domain: Vec<ControllerId> = match &self.domains {
+            Some(domains) => {
+                if domains.len() != self.controllers.len() {
+                    return Err(SdwanError::InvalidNetwork(format!(
+                        "{} domain lists for {} controllers",
+                        domains.len(),
+                        self.controllers.len()
+                    )));
+                }
+                let mut owner: Vec<Option<ControllerId>> = vec![None; n];
+                for (c, switches) in domains.iter().enumerate() {
+                    for &s in switches {
+                        if s >= n {
+                            return Err(SdwanError::UnknownSwitch(SwitchId(s)));
+                        }
+                        if owner[s].replace(ControllerId(c)).is_some() {
+                            return Err(SdwanError::InvalidNetwork(format!(
+                                "switch s{s} appears in two domains"
+                            )));
+                        }
+                    }
+                }
+                owner
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, o)| {
+                        o.ok_or_else(|| {
+                            SdwanError::InvalidNetwork(format!("switch s{s} has no domain"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            None => {
+                // Nearest controller by shortest-path delay; ties to the
+                // lower controller id.
+                (0..n)
+                    .map(|s| {
+                        let mut best = ControllerId(0);
+                        let mut best_d = f64::INFINITY;
+                        for (c, ctrl) in self.controllers.iter().enumerate() {
+                            let d = spts[ctrl.node.index()].distances()[s];
+                            if d < best_d {
+                                best_d = d;
+                                best = ControllerId(c);
+                            }
+                        }
+                        best
+                    })
+                    .collect()
+            }
+        };
+
+        // Flows.
+        let pairs: Vec<(SwitchId, SwitchId)> = match &self.flow_pairs {
+            FlowSpec::AllPairs => {
+                let mut v = Vec::with_capacity(n * (n - 1));
+                for s in 0..n {
+                    for t in 0..n {
+                        if s != t {
+                            v.push((SwitchId(s), SwitchId(t)));
+                        }
+                    }
+                }
+                v
+            }
+            FlowSpec::Explicit(p) => p.clone(),
+        };
+        let mut flows = Vec::with_capacity(pairs.len());
+        for (src, dst) in pairs {
+            if src.0 >= n {
+                return Err(SdwanError::UnknownSwitch(src));
+            }
+            if dst.0 >= n {
+                return Err(SdwanError::UnknownSwitch(dst));
+            }
+            if src == dst {
+                return Err(SdwanError::InvalidNetwork(format!(
+                    "flow {src}->{dst} is a loop"
+                )));
+            }
+            let path = spts[src.0]
+                .path_to(dst.node())
+                .ok_or_else(|| SdwanError::InvalidNetwork(format!("{src} cannot reach {dst}")))?;
+            flows.push(Flow {
+                src,
+                dst,
+                path: path.into_iter().map(|v| SwitchId(v.0)).collect(),
+            });
+        }
+
+        // Per-switch flow lists.
+        let mut flows_at: Vec<Vec<FlowId>> = vec![Vec::new(); n];
+        for (l, f) in flows.iter().enumerate() {
+            for &s in &f.path {
+                flows_at[s.0].push(FlowId(l));
+            }
+        }
+
+        // Switch-to-controller delays.
+        let ctrl_delay: Vec<Vec<f64>> = (0..n)
+            .map(|s| {
+                self.controllers
+                    .iter()
+                    .map(|c| spts[c.node.index()].distances()[s])
+                    .collect()
+            })
+            .collect();
+
+        let net = SdWan {
+            topology: self.topology,
+            controllers: self.controllers,
+            domain,
+            flows,
+            flows_at,
+            ctrl_delay,
+        };
+
+        if !self.allow_overload {
+            for c in 0..net.controllers.len() {
+                let load = net.controller_load(ControllerId(c));
+                let cap = net.controllers[c].capacity;
+                if load > cap {
+                    return Err(SdwanError::InvalidNetwork(format!(
+                        "controller C{c} load {load} exceeds capacity {cap}"
+                    )));
+                }
+            }
+        }
+        Ok(net)
+    }
+}
+
+/// A controller-failure scenario: which controllers failed and everything
+/// the FMSSM problem derives from that (Section IV-A of the paper).
+#[derive(Debug, Clone)]
+pub struct FailureScenario<'net> {
+    net: &'net SdWan,
+    failed: Vec<ControllerId>,
+    active: Vec<ControllerId>,
+    offline_switches: Vec<SwitchId>,
+    offline_flows: Vec<FlowId>,
+    /// Residual capacity per controller id (`None` for failed controllers).
+    residual: Vec<Option<u32>>,
+    /// Nearest active controller per offline switch (the `α_ij` of Eq. (6)).
+    nearest_active: Vec<(SwitchId, ControllerId)>,
+    /// Ideal-recovery total propagation delay `G` of Eq. (6).
+    ideal_delay_g: f64,
+}
+
+impl SdWan {
+    /// Fails the given controllers and derives the recovery problem inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdwanError::InvalidScenario`] if no controller fails, every
+    /// controller fails, a controller id repeats, or an id is unknown.
+    pub fn fail(&self, failed: &[ControllerId]) -> Result<FailureScenario<'_>, SdwanError> {
+        if failed.is_empty() {
+            return Err(SdwanError::InvalidScenario("no failed controllers".into()));
+        }
+        let mut is_failed = vec![false; self.controllers.len()];
+        for &c in failed {
+            self.check_controller(c)?;
+            if is_failed[c.0] {
+                return Err(SdwanError::InvalidScenario(format!(
+                    "controller {c} listed twice"
+                )));
+            }
+            is_failed[c.0] = true;
+        }
+        if is_failed.iter().all(|&b| b) {
+            return Err(SdwanError::InvalidScenario("all controllers failed".into()));
+        }
+
+        let mut failed: Vec<ControllerId> = failed.to_vec();
+        failed.sort();
+        let active: Vec<ControllerId> = (0..self.controllers.len())
+            .filter(|&c| !is_failed[c])
+            .map(ControllerId)
+            .collect();
+
+        let offline_switches: Vec<SwitchId> = (0..self.switch_count())
+            .filter(|&s| is_failed[self.domain[s].0])
+            .map(SwitchId)
+            .collect();
+
+        let mut offline = vec![false; self.flows.len()];
+        for &s in &offline_switches {
+            for &l in &self.flows_at[s.0] {
+                offline[l.0] = true;
+            }
+        }
+        let offline_flows: Vec<FlowId> = (0..self.flows.len())
+            .filter(|&l| offline[l])
+            .map(FlowId)
+            .collect();
+
+        let residual: Vec<Option<u32>> = (0..self.controllers.len())
+            .map(|c| {
+                if is_failed[c] {
+                    None
+                } else {
+                    Some(self.residual_capacity(ControllerId(c)))
+                }
+            })
+            .collect();
+
+        let mut nearest_active = Vec::with_capacity(offline_switches.len());
+        let mut ideal_delay_g = 0.0;
+        for &s in &offline_switches {
+            let nearest = active
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.ctrl_delay[s.0][a.0]
+                        .partial_cmp(&self.ctrl_delay[s.0][b.0])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("at least one active controller");
+            nearest_active.push((s, nearest));
+            ideal_delay_g += self.gamma(s) as f64 * self.ctrl_delay[s.0][nearest.0];
+        }
+
+        Ok(FailureScenario {
+            net: self,
+            failed,
+            active,
+            offline_switches,
+            offline_flows,
+            residual,
+            nearest_active,
+            ideal_delay_g,
+        })
+    }
+}
+
+impl<'net> FailureScenario<'net> {
+    /// The network this scenario applies to.
+    pub fn network(&self) -> &'net SdWan {
+        self.net
+    }
+
+    /// Failed controllers, sorted by id.
+    pub fn failed_controllers(&self) -> &[ControllerId] {
+        &self.failed
+    }
+
+    /// Surviving controllers, sorted by id.
+    pub fn active_controllers(&self) -> &[ControllerId] {
+        &self.active
+    }
+
+    /// Switches that lost their controller, sorted by id (the paper's `S`).
+    pub fn offline_switches(&self) -> &[SwitchId] {
+        &self.offline_switches
+    }
+
+    /// Flows traversing at least one offline switch (the paper's `F`).
+    pub fn offline_flows(&self) -> &[FlowId] {
+        &self.offline_flows
+    }
+
+    /// `true` if switch `s` is offline in this scenario.
+    pub fn is_offline(&self, s: SwitchId) -> bool {
+        self.offline_switches.binary_search(&s).is_ok()
+    }
+
+    /// `true` if controller `c` survived.
+    pub fn is_active(&self, c: ControllerId) -> bool {
+        c.0 < self.residual.len() && self.residual[c.0].is_some()
+    }
+
+    /// Residual capacity `A_j^rest` of an active controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is failed or unknown.
+    pub fn residual_capacity(&self, c: ControllerId) -> u32 {
+        self.residual[c.0].expect("controller is active")
+    }
+
+    /// The nearest active controller of each offline switch (`α_ij = 1`).
+    pub fn nearest_active(&self) -> &[(SwitchId, ControllerId)] {
+        &self.nearest_active
+    }
+
+    /// The ideal-recovery delay bound `G` of Eq. (6), in flow·ms.
+    pub fn ideal_delay_g(&self) -> f64 {
+        self.ideal_delay_g
+    }
+
+    /// Offline switches on flow `l`'s path, in path order.
+    pub fn offline_switches_on_path(&self, l: FlowId) -> Vec<SwitchId> {
+        self.net.flows[l.0]
+            .path
+            .iter()
+            .copied()
+            .filter(|&s| self.is_offline(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_topo::builders;
+
+    fn small_net() -> SdWan {
+        // A 6-ring with two controllers.
+        SdWanBuilder::new(builders::ring(6))
+            .controller(NodeId(0), 100)
+            .controller(NodeId(3), 100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_pairs_flow_count() {
+        let net = small_net();
+        assert_eq!(net.flows().len(), 30);
+        for f in net.flows() {
+            assert_eq!(*f.path.first().unwrap(), f.src);
+            assert_eq!(*f.path.last().unwrap(), f.dst);
+        }
+    }
+
+    #[test]
+    fn nearest_domains_on_ring() {
+        let net = small_net();
+        // Nodes 0, 1, 5 are nearer controller at node 0; 2, 3, 4 nearer 3.
+        assert_eq!(net.domain_of(SwitchId(0)), ControllerId(0));
+        assert_eq!(net.domain_of(SwitchId(3)), ControllerId(1));
+        let d0 = net.domain_switches(ControllerId(0));
+        let d1 = net.domain_switches(ControllerId(1));
+        assert_eq!(d0.len() + d1.len(), 6);
+    }
+
+    #[test]
+    fn gamma_counts_traversals() {
+        let net = small_net();
+        let total: u32 = net.switches().map(|s| net.gamma(s)).sum();
+        let path_nodes: usize = net.flows().iter().map(|f| f.path.len()).sum();
+        assert_eq!(total as usize, path_nodes);
+    }
+
+    #[test]
+    fn paper_setup_capacity_variants() {
+        // 700 is roomy; 400 under-provisions C5/C13/C22 and needs the
+        // overload waiver.
+        assert!(SdWanBuilder::att_paper_setup_with_capacity(700)
+            .build()
+            .is_ok());
+        assert!(SdWanBuilder::att_paper_setup_with_capacity(400)
+            .build()
+            .is_err());
+        let squeezed = SdWanBuilder::att_paper_setup_with_capacity(400)
+            .allow_overload()
+            .build()
+            .unwrap();
+        assert_eq!(squeezed.residual_capacity(ControllerId(3)), 0);
+    }
+
+    #[test]
+    fn paper_setup_builds() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        assert_eq!(net.switch_count(), 25);
+        assert_eq!(net.flows().len(), 600);
+        assert_eq!(net.controllers().len(), 6);
+        // Every controller fits its domain load within capacity 500.
+        for c in 0..6 {
+            assert!(
+                net.controller_load(ControllerId(c)) <= 500,
+                "C{c} overloaded"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_setup_domains_match_table3() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        assert_eq!(
+            net.domain_switches(ControllerId(3)),
+            vec![
+                SwitchId(10),
+                SwitchId(11),
+                SwitchId(12),
+                SwitchId(13),
+                SwitchId(15)
+            ]
+        );
+    }
+
+    #[test]
+    fn fail_derives_offline_sets() {
+        let net = small_net();
+        let sc = net.fail(&[ControllerId(0)]).unwrap();
+        assert_eq!(sc.failed_controllers(), &[ControllerId(0)]);
+        assert_eq!(sc.active_controllers(), &[ControllerId(1)]);
+        assert!(!sc.offline_switches().is_empty());
+        // Every offline flow traverses an offline switch.
+        for &l in sc.offline_flows() {
+            assert!(net.flow(l).path.iter().any(|&s| sc.is_offline(s)));
+        }
+        // Every flow traversing an offline switch is offline.
+        for (l, f) in net.flows().iter().enumerate() {
+            if f.path.iter().any(|&s| sc.is_offline(s)) {
+                assert!(sc.offline_flows().contains(&FlowId(l)));
+            }
+        }
+    }
+
+    #[test]
+    fn fail_rejects_bad_inputs() {
+        let net = small_net();
+        assert!(net.fail(&[]).is_err());
+        assert!(
+            net.fail(&[ControllerId(0), ControllerId(1)]).is_err(),
+            "all failed"
+        );
+        assert!(net.fail(&[ControllerId(7)]).is_err());
+        assert!(net.fail(&[ControllerId(0), ControllerId(0)]).is_err());
+    }
+
+    #[test]
+    fn ideal_delay_uses_nearest_controller() {
+        let net = small_net();
+        let sc = net.fail(&[ControllerId(0)]).unwrap();
+        let mut expect = 0.0;
+        for &s in sc.offline_switches() {
+            expect += net.gamma(s) as f64 * net.ctrl_delay(s, ControllerId(1));
+        }
+        assert!((sc.ideal_delay_g() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_capacity_subtracts_own_load() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let sc = net.fail(&[ControllerId(3)]).unwrap();
+        for &c in sc.active_controllers() {
+            assert_eq!(
+                sc.residual_capacity(c),
+                net.controllers()[c.0].capacity - net.controller_load(c)
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_flows() {
+        let net = SdWanBuilder::new(builders::ring(5))
+            .controller(NodeId(0), 50)
+            .explicit_flows(vec![(SwitchId(1), SwitchId(3))])
+            .build()
+            .unwrap();
+        assert_eq!(net.flows().len(), 1);
+        assert_eq!(net.flows()[0].src, SwitchId(1));
+    }
+
+    #[test]
+    fn rejects_overload() {
+        // One controller with capacity 1 cannot control a ring's flows.
+        let err = SdWanBuilder::new(builders::ring(4))
+            .controller(NodeId(0), 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SdwanError::InvalidNetwork(_)));
+        // allow_overload() waives the check.
+        assert!(SdWanBuilder::new(builders::ring(4))
+            .controller(NodeId(0), 1)
+            .allow_overload()
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_incomplete_domains() {
+        let err = SdWanBuilder::new(builders::ring(4))
+            .controller(NodeId(0), 100)
+            .domains(vec![vec![0, 1, 2]])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SdwanError::InvalidNetwork(_)));
+    }
+
+    #[test]
+    fn rejects_overlapping_domains() {
+        let err = SdWanBuilder::new(builders::ring(4))
+            .controller(NodeId(0), 100)
+            .controller(NodeId(2), 100)
+            .domains(vec![vec![0, 1, 2], vec![2, 3]])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SdwanError::InvalidNetwork(_)));
+    }
+}

@@ -1,0 +1,305 @@
+//! Traffic demands and link utilization.
+//!
+//! The paper's motivation is performance under *traffic variation*
+//! (Section I cites SWAN and B4's utilization gains from flexible flow
+//! control). This module supplies the missing half of that story: per-flow
+//! demands, per-link loads and the max-utilization metric that traffic
+//! engineering minimizes — so the recovery algorithms can be judged not
+//! just by abstract programmability but by the rerouting headroom they
+//! preserve (see `pm_core::Rerouter`).
+
+use crate::network::{FlowId, SdWan, SwitchId};
+use crate::SdwanError;
+use std::collections::HashMap;
+
+/// Per-flow traffic demands (unit-agnostic; think Mbit/s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    demand: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Every flow demands `rate`.
+    pub fn uniform(net: &SdWan, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "invalid rate {rate}");
+        TrafficMatrix {
+            demand: vec![rate; net.flows().len()],
+        }
+    }
+
+    /// Deterministic gravity model: flow `s → t` demands
+    /// `total · m(s)·m(t) / Σ m(a)·m(b)`, with node mass `m(v)` = its
+    /// degree — hubs attract traffic, as in real WAN matrices.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pm_sdwan::{SdWanBuilder, TrafficMatrix, LinkLoads};
+    /// let net = SdWanBuilder::att_paper_setup().build()?;
+    /// let tm = TrafficMatrix::gravity(&net, 10_000.0);
+    /// let loads = LinkLoads::compute(&net, &tm, &Default::default());
+    /// let (hot, load) = loads.max_link().expect("traffic flows");
+    /// assert!(load > 0.0);
+    /// println!("hottest link: {}–{}", hot.0, hot.1);
+    /// # Ok::<(), pm_sdwan::SdwanError>(())
+    /// ```
+    pub fn gravity(net: &SdWan, total: f64) -> Self {
+        assert!(total.is_finite() && total >= 0.0, "invalid total {total}");
+        let mass: Vec<f64> = net
+            .switches()
+            .map(|s| net.topology().degree(s.node()) as f64)
+            .collect();
+        let weights: Vec<f64> = net
+            .flows()
+            .iter()
+            .map(|f| mass[f.src.index()] * mass[f.dst.index()])
+            .collect();
+        let sum: f64 = weights.iter().sum();
+        let demand = if sum > 0.0 {
+            weights.iter().map(|w| total * w / sum).collect()
+        } else {
+            vec![0.0; weights.len()]
+        };
+        TrafficMatrix { demand }
+    }
+
+    /// Explicit per-flow demands.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length does not match the flow count or any
+    /// demand is negative/not finite.
+    pub fn from_demands(net: &SdWan, demand: Vec<f64>) -> Result<Self, SdwanError> {
+        if demand.len() != net.flows().len() {
+            return Err(SdwanError::InvalidNetwork(format!(
+                "{} demands for {} flows",
+                demand.len(),
+                net.flows().len()
+            )));
+        }
+        if demand.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(SdwanError::InvalidNetwork(
+                "negative or non-finite demand".into(),
+            ));
+        }
+        Ok(TrafficMatrix { demand })
+    }
+
+    /// Demand of flow `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn demand(&self, l: FlowId) -> f64 {
+        self.demand[l.index()]
+    }
+
+    /// Total demand across all flows.
+    pub fn total(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+
+    /// Scales flow `l`'s demand by `factor` (a traffic surge or drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite, or `l` out of range.
+    pub fn scale_flow(&mut self, l: FlowId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
+        self.demand[l.index()] *= factor;
+    }
+}
+
+/// An undirected link key with canonical endpoint order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkKey(pub SwitchId, pub SwitchId);
+
+impl LinkKey {
+    /// Canonicalizes the endpoint order.
+    pub fn new(a: SwitchId, b: SwitchId) -> Self {
+        if a <= b {
+            LinkKey(a, b)
+        } else {
+            LinkKey(b, a)
+        }
+    }
+}
+
+/// Per-link load produced by routing a [`TrafficMatrix`] over flow paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoads {
+    loads: HashMap<LinkKey, f64>,
+}
+
+impl LinkLoads {
+    /// Routes `tm` over each flow's current path. Pass `overrides` to route
+    /// selected flows over different paths (the output of
+    /// `pm_core::Rerouter`): a map from flow to its replacement path.
+    pub fn compute(
+        net: &SdWan,
+        tm: &TrafficMatrix,
+        overrides: &HashMap<FlowId, Vec<SwitchId>>,
+    ) -> Self {
+        let mut loads: HashMap<LinkKey, f64> = HashMap::new();
+        for (l, flow) in net.flows().iter().enumerate() {
+            let l = FlowId(l);
+            let d = tm.demand(l);
+            if d == 0.0 {
+                continue;
+            }
+            let default_path = &flow.path;
+            let path: &[SwitchId] = overrides.get(&l).map(Vec::as_slice).unwrap_or(default_path);
+            for w in path.windows(2) {
+                *loads.entry(LinkKey::new(w[0], w[1])).or_insert(0.0) += d;
+            }
+        }
+        LinkLoads { loads }
+    }
+
+    /// Load on the link `(a, b)` (either endpoint order), 0 if unused.
+    pub fn load(&self, a: SwitchId, b: SwitchId) -> f64 {
+        self.loads.get(&LinkKey::new(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// The most-loaded link and its load, or `None` when nothing flows.
+    pub fn max_link(&self) -> Option<(LinkKey, f64)> {
+        self.loads
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.0.cmp(a.0))
+            })
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Links ordered by decreasing load.
+    pub fn ranked(&self) -> Vec<(LinkKey, f64)> {
+        let mut v: Vec<(LinkKey, f64)> = self.loads.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Maximum link utilization given a uniform link capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn max_utilization(&self, capacity: f64) -> f64 {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.max_link()
+            .map(|(_, load)| load / capacity)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SdWanBuilder;
+    use pm_topo::{builders, NodeId};
+
+    fn net() -> SdWan {
+        SdWanBuilder::new(builders::grid(3, 3))
+            .controller(NodeId(0), 10_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_total() {
+        let net = net();
+        let tm = TrafficMatrix::uniform(&net, 2.0);
+        assert_eq!(tm.total(), 2.0 * net.flows().len() as f64);
+        assert_eq!(tm.demand(FlowId(0)), 2.0);
+    }
+
+    #[test]
+    fn gravity_prefers_hubs() {
+        let net = net();
+        let tm = TrafficMatrix::gravity(&net, 100.0);
+        assert!((tm.total() - 100.0).abs() < 1e-9);
+        // The grid center (node 4, degree 4) attracts more than a corner
+        // pair (degree 2 each).
+        let center_pair = net
+            .flows()
+            .iter()
+            .position(|f| f.src == SwitchId(4) && f.dst == SwitchId(1))
+            .unwrap();
+        let corner_pair = net
+            .flows()
+            .iter()
+            .position(|f| f.src == SwitchId(0) && f.dst == SwitchId(8))
+            .unwrap();
+        assert!(tm.demand(FlowId(center_pair)) > tm.demand(FlowId(corner_pair)));
+    }
+
+    #[test]
+    fn from_demands_validates() {
+        let net = net();
+        assert!(TrafficMatrix::from_demands(&net, vec![1.0; 3]).is_err());
+        assert!(TrafficMatrix::from_demands(&net, vec![-1.0; net.flows().len()]).is_err());
+        assert!(TrafficMatrix::from_demands(&net, vec![1.0; net.flows().len()]).is_ok());
+    }
+
+    #[test]
+    fn link_loads_conserve_demand_times_hops() {
+        let net = net();
+        let tm = TrafficMatrix::uniform(&net, 1.0);
+        let loads = LinkLoads::compute(&net, &tm, &HashMap::new());
+        let total_load: f64 = loads.ranked().iter().map(|&(_, v)| v).sum();
+        let total_hops: usize = net.flows().iter().map(|f| f.hop_count()).sum();
+        assert!((total_load - total_hops as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overrides_shift_load() {
+        let net = net();
+        let tm = TrafficMatrix::uniform(&net, 1.0);
+        let base = LinkLoads::compute(&net, &tm, &HashMap::new());
+        // Move flow 0 (0 -> 1) onto the detour 0-3-4-1.
+        let mut overrides = HashMap::new();
+        overrides.insert(
+            FlowId(0),
+            vec![SwitchId(0), SwitchId(3), SwitchId(4), SwitchId(1)],
+        );
+        let shifted = LinkLoads::compute(&net, &tm, &overrides);
+        assert!(shifted.load(SwitchId(0), SwitchId(1)) < base.load(SwitchId(0), SwitchId(1)));
+        assert!(shifted.load(SwitchId(0), SwitchId(3)) > base.load(SwitchId(0), SwitchId(3)));
+    }
+
+    #[test]
+    fn max_link_and_utilization() {
+        let net = net();
+        let tm = TrafficMatrix::uniform(&net, 1.0);
+        let loads = LinkLoads::compute(&net, &tm, &HashMap::new());
+        let (key, load) = loads.max_link().unwrap();
+        assert!(load > 0.0);
+        assert_eq!(loads.load(key.0, key.1), load);
+        assert!((loads.max_utilization(load) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surge_scales_one_flow() {
+        let net = net();
+        let mut tm = TrafficMatrix::uniform(&net, 1.0);
+        tm.scale_flow(FlowId(3), 5.0);
+        assert_eq!(tm.demand(FlowId(3)), 5.0);
+        assert_eq!(tm.demand(FlowId(2)), 1.0);
+    }
+
+    #[test]
+    fn link_key_canonical() {
+        assert_eq!(
+            LinkKey::new(SwitchId(5), SwitchId(2)),
+            LinkKey::new(SwitchId(2), SwitchId(5))
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Simulation outcome summary.
+
+use crate::time::SimTime;
+use pm_sdwan::{FlowId, SwitchId};
+
+/// Everything a simulation run measured.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulation clock when the run stopped.
+    pub finished_at: SimTime,
+    /// When the (first) failure happened, if one was scheduled.
+    pub failure_at: Option<SimTime>,
+    /// Per recovered switch: milliseconds from failure to the completed
+    /// role handshake.
+    pub switch_recovery_ms: Vec<(SwitchId, f64)>,
+    /// Per flow: milliseconds from failure until its *first* SDN entry was
+    /// reinstalled (programmability > 0 again).
+    pub flow_first_program_ms: Vec<(FlowId, f64)>,
+    /// Per flow: milliseconds from failure until *all* its planned SDN
+    /// entries were installed.
+    pub flow_fully_program_ms: Vec<(FlowId, f64)>,
+    /// Role-request messages sent by controllers.
+    pub role_requests_sent: usize,
+    /// FlowMod messages sent by controllers.
+    pub flow_mods_sent: usize,
+    /// `true` when every flow in the network is deliverable by walking the
+    /// hybrid tables (legacy fallback counts).
+    pub all_flows_deliverable: bool,
+    /// Flows that could not be delivered (empty when
+    /// [`SimReport::all_flows_deliverable`]).
+    pub undeliverable: Vec<FlowId>,
+    /// Controllers that failed by overload cascade (always empty unless
+    /// [`crate::engine::CascadeConfig`] is enabled).
+    pub cascaded_controllers: Vec<pm_sdwan::ControllerId>,
+    /// `PacketIn` messages sent by switches after flow expiries.
+    pub packet_ins_sent: usize,
+    /// `FlowSetup` replies sent by controllers.
+    pub flow_setups_sent: usize,
+    /// Per expired flow: milliseconds from expiry until every *controlled*
+    /// on-path switch had its entry re-installed (masterless switches fall
+    /// back to legacy and are excluded).
+    pub flow_resetup_ms: Vec<(FlowId, f64)>,
+    /// Per expired flow: how many of its on-path switches fell back to
+    /// legacy forwarding because they had no master at expiry time.
+    pub legacy_fallback_switches: Vec<(FlowId, usize)>,
+}
+
+impl SimReport {
+    /// Mean switch recovery latency in ms (`None` if nothing recovered).
+    pub fn mean_switch_recovery_ms(&self) -> Option<f64> {
+        mean(self.switch_recovery_ms.iter().map(|&(_, t)| t))
+    }
+
+    /// Mean first-programmability latency over recovered flows.
+    pub fn mean_flow_recovery_ms(&self) -> Option<f64> {
+        mean(self.flow_first_program_ms.iter().map(|&(_, t)| t))
+    }
+
+    /// Largest first-programmability latency over recovered flows.
+    pub fn max_flow_recovery_ms(&self) -> Option<f64> {
+        self.flow_first_program_ms
+            .iter()
+            .map(|&(_, t)| t)
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Total control messages sent during recovery.
+    pub fn total_messages(&self) -> usize {
+        self.role_requests_sent * 2 + self.flow_mods_sent
+    }
+
+    /// Mean flow re-setup latency after expiry, in ms.
+    pub fn mean_resetup_ms(&self) -> Option<f64> {
+        mean(self.flow_resetup_ms.iter().map(|&(_, t)| t))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> SimReport {
+        SimReport {
+            finished_at: SimTime::ZERO,
+            failure_at: None,
+            switch_recovery_ms: vec![],
+            flow_first_program_ms: vec![],
+            flow_fully_program_ms: vec![],
+            role_requests_sent: 0,
+            flow_mods_sent: 0,
+            all_flows_deliverable: true,
+            undeliverable: vec![],
+            cascaded_controllers: vec![],
+            packet_ins_sent: 0,
+            flow_setups_sent: 0,
+            flow_resetup_ms: vec![],
+            legacy_fallback_switches: vec![],
+        }
+    }
+
+    #[test]
+    fn means_of_empty_are_none() {
+        let r = empty_report();
+        assert_eq!(r.mean_switch_recovery_ms(), None);
+        assert_eq!(r.mean_flow_recovery_ms(), None);
+        assert_eq!(r.max_flow_recovery_ms(), None);
+        assert_eq!(r.total_messages(), 0);
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut r = empty_report();
+        r.role_requests_sent = 3;
+        r.flow_mods_sent = 10;
+        assert_eq!(r.total_messages(), 16); // request + reply per handshake
+    }
+
+    #[test]
+    fn mean_math() {
+        let mut r = empty_report();
+        r.switch_recovery_ms = vec![(SwitchId(1), 2.0), (SwitchId(2), 4.0)];
+        assert_eq!(r.mean_switch_recovery_ms(), Some(3.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulation time: nanosecond-resolution, totally ordered, deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+///
+/// Stored as an integer so event ordering is exact — no floating-point
+/// tie ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from milliseconds (the paper's natural unit for delays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ms(ms: f64) -> SimTime {
+        assert!(ms.is_finite() && ms >= 0.0, "invalid time {ms} ms");
+        SimTime((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// Builds from integer nanoseconds.
+    pub fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// The value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The value in nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("negative sim time"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_roundtrip() {
+        let t = SimTime::from_ms(12.345);
+        assert!((t.as_ms() - 12.345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(SimTime::from_ms(1.0), SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(2.0);
+        let b = SimTime::from_ms(0.5);
+        assert_eq!(a + b, SimTime::from_ms(2.5));
+        assert_eq!(a - b, SimTime::from_ms(1.5));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative sim time")]
+    fn underflow_panics() {
+        let _ = SimTime::from_ms(1.0) - SimTime::from_ms(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn rejects_nan() {
+        let _ = SimTime::from_ms(f64::NAN);
+    }
+}

@@ -1,0 +1,140 @@
+//! Flow-expiry / PacketIn dynamics: expired entries are re-installed by
+//! live masters; offline switches fall back to legacy silently.
+
+use pm_core::{FmssmInstance, Pm, RecoveryAlgorithm};
+use pm_sdwan::hybrid::TableHit;
+use pm_sdwan::{ControllerId, FlowId, Programmability, SdWanBuilder};
+use pm_simctl::{RecoveryTiming, SimTime, Simulation};
+
+fn paper_net() -> pm_sdwan::SdWan {
+    SdWanBuilder::att_paper_setup().build().unwrap()
+}
+
+#[test]
+fn steady_state_resetup_round_trip() {
+    let net = paper_net();
+    let mut sim = Simulation::new(&net);
+    let flow = FlowId(42);
+    let hops = net.flow(flow).path.len() - 1; // entries live at non-dst hops
+    sim.schedule_flow_expiry(SimTime::from_ms(10.0), flow);
+    let report = sim.run(SimTime::from_ms(10_000.0)).unwrap();
+    // Every on-path switch has a live master, so every entry comes back.
+    assert_eq!(report.packet_ins_sent, hops);
+    assert_eq!(report.flow_setups_sent, hops);
+    assert_eq!(report.flow_resetup_ms.len(), 1);
+    let (l, latency) = report.flow_resetup_ms[0];
+    assert_eq!(l, flow);
+    assert!(latency > 0.0 && latency < 100.0, "latency {latency}");
+    assert_eq!(report.legacy_fallback_switches[0], (flow, 0));
+    assert!(report.all_flows_deliverable);
+    // The entry is back in the flow table.
+    let src = net.flow(flow).src;
+    let hit = sim.table(src).lookup(flow, net.flow(flow).dst).unwrap();
+    assert_eq!(hit.hit, TableHit::FlowTable);
+}
+
+#[test]
+fn expiry_during_failure_falls_back_to_legacy() {
+    let net = paper_net();
+    // Find a flow crossing the C13 domain with at least one offline and
+    // one online switch on its path.
+    let prog = Programmability::compute(&net);
+    let scenario = net.fail(&[ControllerId(3)]).unwrap();
+    let flow = *scenario
+        .offline_flows()
+        .iter()
+        .find(|&&l| {
+            let f = net.flow(l);
+            let offline = f.path[..f.path.len() - 1]
+                .iter()
+                .filter(|&&s| scenario.is_offline(s))
+                .count();
+            offline >= 1 && offline < f.path.len() - 1
+        })
+        .expect("mixed-path flow exists");
+    let f = net.flow(flow);
+    let offline_hops = f.path[..f.path.len() - 1]
+        .iter()
+        .filter(|&&s| scenario.is_offline(s))
+        .count();
+    let online_hops = f.path.len() - 1 - offline_hops;
+
+    let mut sim = Simulation::new(&net);
+    sim.schedule_failure(SimTime::from_ms(0.0), &[ControllerId(3)]);
+    sim.schedule_flow_expiry(SimTime::from_ms(100.0), flow);
+    let report = sim.run(SimTime::from_ms(10_000.0)).unwrap();
+
+    assert_eq!(
+        report.packet_ins_sent, online_hops,
+        "only mastered switches PacketIn"
+    );
+    assert_eq!(report.legacy_fallback_switches[0], (flow, offline_hops));
+    // The flow still delivers end to end (legacy at offline switches).
+    assert!(report.all_flows_deliverable);
+    let _ = prog;
+}
+
+#[test]
+fn expiry_after_recovery_is_fully_served() {
+    let net = paper_net();
+    let prog = Programmability::compute(&net);
+    let failed = [ControllerId(3)];
+    let scenario = net.fail(&failed).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let plan = Pm::new().recover(&inst).unwrap();
+    // A flow whose offline on-path switches were all remapped by PM.
+    let flow = *scenario
+        .offline_flows()
+        .iter()
+        .find(|&&l| {
+            let f = net.flow(l);
+            f.path[..f.path.len() - 1]
+                .iter()
+                .all(|&s| !scenario.is_offline(s) || plan.controller_of(s).is_some())
+        })
+        .expect("fully re-controlled flow exists");
+    let hops = net.flow(flow).path.len() - 1;
+
+    let mut sim = Simulation::new(&net);
+    sim.schedule_failure(SimTime::from_ms(0.0), &failed);
+    sim.schedule_recovery(
+        SimTime::from_ms(10.0),
+        &scenario,
+        &plan,
+        RecoveryTiming::default(),
+    );
+    // Expire well after recovery completed.
+    sim.schedule_flow_expiry(SimTime::from_ms(5_000.0), flow);
+    let report = sim.run(SimTime::from_ms(60_000.0)).unwrap();
+    assert_eq!(
+        report.packet_ins_sent, hops,
+        "every switch re-controlled → full resetup"
+    );
+    assert_eq!(report.legacy_fallback_switches[0].1, 0);
+    assert!(report.mean_resetup_ms().unwrap() > 0.0);
+}
+
+#[test]
+fn mass_expiry_queues_at_controllers() {
+    // Expire many flows at once: controller FIFO queueing must stretch the
+    // tail latency beyond a single round trip.
+    let net = paper_net();
+    let mut sim = Simulation::new(&net);
+    let flows: Vec<FlowId> = (0..200).map(FlowId).collect();
+    for &l in &flows {
+        sim.schedule_flow_expiry(SimTime::from_ms(10.0), l);
+    }
+    let report = sim.run(SimTime::from_ms(60_000.0)).unwrap();
+    assert_eq!(report.flow_resetup_ms.len(), flows.len());
+    let mean = report.mean_resetup_ms().unwrap();
+    let max = report
+        .flow_resetup_ms
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(0.0f64, f64::max);
+    assert!(
+        max > mean,
+        "queueing must create a tail (mean {mean}, max {max})"
+    );
+    assert!(report.all_flows_deliverable);
+}

@@ -1,0 +1,102 @@
+//! Successive failures in the simulator: two failure events, each followed
+//! by the *delta* plan from `pm_core::SuccessiveRecovery` — only new
+//! decisions cost messages, and earlier switches keep their masters.
+
+use pm_core::SuccessiveRecovery;
+use pm_sdwan::{ControllerId, Programmability, SdWanBuilder};
+use pm_simctl::{RecoveryTiming, SimTime, Simulation};
+
+#[test]
+fn delta_plans_animate_in_sequence() {
+    let net = SdWanBuilder::att_paper_setup().build().unwrap();
+    let prog = Programmability::compute(&net);
+
+    let mut rec = SuccessiveRecovery::new();
+    let delta1 = rec.on_failure(&net, &prog, &[ControllerId(3)]).unwrap();
+    let after_first = rec.plan().clone();
+    let delta2 = rec.on_failure(&net, &prog, &[ControllerId(4)]).unwrap();
+
+    let scenario1 = net.fail(&[ControllerId(3)]).unwrap();
+    let scenario2 = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+
+    let mut sim = Simulation::new(&net);
+    sim.schedule_failure(SimTime::from_ms(100.0), &[ControllerId(3)]);
+    sim.schedule_recovery(
+        SimTime::from_ms(110.0),
+        &scenario1,
+        &delta1,
+        RecoveryTiming::default(),
+    );
+    sim.schedule_failure(SimTime::from_ms(5_000.0), &[ControllerId(4)]);
+    sim.schedule_recovery(
+        SimTime::from_ms(5_010.0),
+        &scenario2,
+        &delta2,
+        RecoveryTiming::default(),
+    );
+    let report = sim.run(SimTime::from_ms(120_000.0)).unwrap();
+
+    // Messages: one role handshake per switch in each delta (mapped or
+    // flow-level), one FlowMod per delta selection.
+    assert_eq!(
+        report.flow_mods_sent,
+        delta1.sdn_count() + delta2.sdn_count(),
+        "only delta selections cost FlowMods"
+    );
+    assert!(report.all_flows_deliverable);
+
+    // Final control assignments match the cumulative plan.
+    for (s, c) in rec.plan().mappings() {
+        assert_eq!(
+            sim.master_of(s),
+            Some(c),
+            "{s} not controlled per cumulative plan"
+        );
+    }
+    // Switches adopted after the first failure whose adopter survived were
+    // NOT re-handshaken: their recovery time stamps date from the first
+    // failure.
+    let first_failure_ms = 100.0;
+    let stable: Vec<_> = after_first
+        .mappings()
+        .filter(|&(_, c)| c != ControllerId(4))
+        .map(|(s, _)| s)
+        .collect();
+    for (s, t) in &report.switch_recovery_ms {
+        if stable.contains(s) {
+            // Relative to failure time (100 ms): recovered within the first
+            // window, well before the second failure at 5 000 ms.
+            assert!(
+                *t < 4_000.0,
+                "{s} was re-handshaken after the second failure (t = {t} ms past {first_failure_ms})"
+            );
+        }
+    }
+}
+
+#[test]
+fn second_delta_rehomes_orphans_of_the_second_failure() {
+    let net = SdWanBuilder::att_paper_setup().build().unwrap();
+    let prog = Programmability::compute(&net);
+    let mut rec = SuccessiveRecovery::new();
+    let _ = rec.on_failure(&net, &prog, &[ControllerId(3)]).unwrap();
+    // Which switches did C20 (index 4) adopt in round one?
+    let adopted_by_c20: Vec<_> = rec
+        .plan()
+        .mappings()
+        .filter(|&(_, c)| c == ControllerId(4))
+        .map(|(s, _)| s)
+        .collect();
+    let delta2 = rec.on_failure(&net, &prog, &[ControllerId(4)]).unwrap();
+    // Every orphan that the cumulative plan still maps must appear in the
+    // delta (it needs a new handshake).
+    for s in adopted_by_c20 {
+        if let Some(c) = rec.plan().controller_of(s) {
+            assert_eq!(
+                delta2.controller_of(s),
+                Some(c),
+                "orphan {s} missing from the delta"
+            );
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic topology generators.
+//!
+//! These are used by tests, property tests, benches and examples to exercise
+//! the recovery algorithms on shapes other than the embedded ATT backbone:
+//! rings (sparse, long paths), grids (moderate path diversity), stars
+//! (central hub, the pathological case for switch-level recovery) and Waxman
+//! random geometric graphs (the standard synthetic WAN model).
+
+use crate::geo::GeoPoint;
+use crate::graph::{Graph, NodeId};
+use crate::TopoError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A ring of `n` nodes with unit edge weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = Graph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(format!("r{i}"), None);
+    }
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0)
+            .expect("ring edges are valid");
+    }
+    g
+}
+
+/// A `rows × cols` grid with unit edge weights.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_node(format!("g{r}_{c}"), None);
+        }
+    }
+    let id = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), 1.0)
+                    .expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), 1.0)
+                    .expect("grid edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// A star: node 0 is the hub, nodes `1..n` are leaves, unit weights.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "a star needs at least 2 nodes");
+    let mut g = Graph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(format!("s{i}"), None);
+    }
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i), 1.0)
+            .expect("star edges are valid");
+    }
+    g
+}
+
+/// A complete graph on `n` nodes with unit weights.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2, "a complete graph needs at least 2 nodes");
+    let mut g = Graph::with_capacity(n);
+    for i in 0..n {
+        g.add_node(format!("k{i}"), None);
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_edge(NodeId(i), NodeId(j), 1.0)
+                .expect("complete edges are valid");
+        }
+    }
+    g
+}
+
+/// Parameters for [`waxman`] random geometric graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Waxman α: overall edge density (0, 1].
+    pub alpha: f64,
+    /// Waxman β: how strongly distance suppresses edges (0, 1].
+    pub beta: f64,
+    /// Side of the square region (degrees of lat/lon) the nodes are placed in.
+    pub region_degrees: f64,
+    /// PRNG seed; the same seed always produces the same graph.
+    pub seed: u64,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        WaxmanParams {
+            nodes: 30,
+            alpha: 0.6,
+            beta: 0.35,
+            region_degrees: 20.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a connected Waxman random geometric graph.
+///
+/// Nodes are placed uniformly in a square region around (38° N, 96° W) —
+/// roughly the continental US — edges are sampled with probability
+/// `α · exp(−d / (β · L))` where `L` is the maximum node distance, and edge
+/// weights are geographic propagation delays. A spanning-tree pass guarantees
+/// connectivity regardless of the sampling outcome.
+///
+/// # Errors
+///
+/// Returns an error if `params.nodes < 2` or a parameter is out of range.
+pub fn waxman(params: &WaxmanParams) -> Result<Graph, TopoError> {
+    if params.nodes < 2 {
+        return Err(TopoError::Parse {
+            line: 0,
+            message: "waxman: need at least 2 nodes".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&params.alpha)
+        || !(0.0..=1.0).contains(&params.beta)
+        || params.alpha == 0.0
+        || params.beta == 0.0
+        || params.region_degrees.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+    {
+        return Err(TopoError::Parse {
+            line: 0,
+            message: "waxman: parameters out of range".into(),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut g = Graph::with_capacity(params.nodes);
+    let half = params.region_degrees / 2.0;
+    for i in 0..params.nodes {
+        let lat = 38.0 + rng.gen_range(-half..half) * 0.5; // squash latitude a bit
+        let lon = -96.0 + rng.gen_range(-half..half);
+        g.add_node(format!("w{i}"), Some(GeoPoint::new(lat, lon)));
+    }
+    // Maximum pairwise distance for the Waxman probability scale.
+    let mut max_d: f64 = 0.0;
+    for i in 0..params.nodes {
+        for j in i + 1..params.nodes {
+            let d = g
+                .node(NodeId(i))
+                .position
+                .expect("set above")
+                .haversine_km(&g.node(NodeId(j)).position.expect("set above"));
+            max_d = max_d.max(d);
+        }
+    }
+    for i in 0..params.nodes {
+        for j in i + 1..params.nodes {
+            let d = g
+                .node(NodeId(i))
+                .position
+                .expect("set above")
+                .haversine_km(&g.node(NodeId(j)).position.expect("set above"));
+            let p = params.alpha * (-d / (params.beta * max_d)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_geo_edge(NodeId(i), NodeId(j))?;
+            }
+        }
+    }
+    // Guarantee connectivity: link each component to the previous node.
+    for i in 1..params.nodes {
+        if !reaches_zero(&g, NodeId(i)) {
+            g.add_geo_edge(NodeId(i), NodeId(i - 1))?;
+        }
+    }
+    debug_assert!(g.is_connected());
+    Ok(g)
+}
+
+fn reaches_zero(g: &Graph, from: NodeId) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![from];
+    seen[from.0] = true;
+    while let Some(v) = stack.pop() {
+        if v == NodeId(0) {
+            return true;
+        }
+        for u in g.neighbors(v) {
+            if !seen[u.0] {
+                seen[u.0] = true;
+                stack.push(u);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.degree(NodeId(0)), 4);
+        assert!((1..5).all(|i| g.degree(NodeId(i)) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn waxman_deterministic_and_connected() {
+        let p = WaxmanParams {
+            nodes: 25,
+            seed: 7,
+            ..Default::default()
+        };
+        let g1 = waxman(&p).unwrap();
+        let g2 = waxman(&p).unwrap();
+        assert_eq!(g1, g2, "same seed must reproduce the same graph");
+        assert!(g1.is_connected());
+        assert_eq!(g1.node_count(), 25);
+    }
+
+    #[test]
+    fn waxman_seed_changes_graph() {
+        let a = waxman(&WaxmanParams {
+            seed: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let b = waxman(&WaxmanParams {
+            seed: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn waxman_rejects_bad_params() {
+        assert!(waxman(&WaxmanParams {
+            nodes: 1,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(waxman(&WaxmanParams {
+            alpha: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(waxman(&WaxmanParams {
+            beta: 2.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn waxman_edges_have_geo_weights() {
+        let g = waxman(&WaxmanParams::default()).unwrap();
+        for e in g.edges() {
+            let pa = g.node(e.a).position.unwrap();
+            let pb = g.node(e.b).position.unwrap();
+            assert!((e.weight - pa.propagation_delay_ms(&pb)).abs() < 1e-9);
+        }
+    }
+}

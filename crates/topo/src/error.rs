@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced by topology construction and parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopoError {
+    /// A node index was out of range for the graph it was used with.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge endpoint pair was invalid (e.g. a self-loop where none is
+    /// allowed).
+    InvalidEdge {
+        /// Source node index.
+        a: usize,
+        /// Target node index.
+        b: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An edge weight was not a finite, non-negative number.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A GraphML document could not be parsed.
+    Parse {
+        /// 1-based line of the failure, if known.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The graph is not connected but the operation requires connectivity.
+    Disconnected,
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::NodeOutOfRange { node, node_count } => {
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {node_count} nodes"
+                )
+            }
+            TopoError::InvalidEdge { a, b, reason } => {
+                write!(f, "invalid edge ({a}, {b}): {reason}")
+            }
+            TopoError::InvalidWeight { weight } => {
+                write!(
+                    f,
+                    "invalid edge weight {weight}: must be finite and non-negative"
+                )
+            }
+            TopoError::Parse { line, message } => {
+                write!(f, "graphml parse error at line {line}: {message}")
+            }
+            TopoError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}

@@ -1,0 +1,125 @@
+//! Geographic positions, great-circle distances and propagation delays.
+//!
+//! The paper computes inter-node distances with the Haversine formula \[19\]
+//! and converts them to propagation delays with a signal speed of
+//! 2×10⁸ m/s \[20\]. This module reproduces both.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometers (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Propagation speed inside fiber, in kilometers per millisecond
+/// (2×10⁸ m/s = 200 km/ms), following the paper's reference \[20\].
+pub const PROPAGATION_KM_PER_MS: f64 = 200.0;
+
+/// A point on the Earth's surface, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub latitude: f64,
+    /// Longitude in degrees, positive east.
+    pub longitude: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude in degrees.
+    ///
+    /// Values are taken as-is; callers should keep latitude within ±90 and
+    /// longitude within ±180 for meaningful distances.
+    pub fn new(latitude: f64, longitude: f64) -> Self {
+        GeoPoint {
+            latitude,
+            longitude,
+        }
+    }
+
+    /// Great-circle distance to `other` in kilometers, via the Haversine
+    /// formula.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pm_topo::GeoPoint;
+    /// let nyc = GeoPoint::new(40.7128, -74.0060);
+    /// let la = GeoPoint::new(34.0522, -118.2437);
+    /// let d = nyc.haversine_km(&la);
+    /// assert!((d - 3936.0).abs() < 25.0); // ~3936 km
+    /// ```
+    pub fn haversine_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.latitude.to_radians();
+        let lat2 = other.latitude.to_radians();
+        let dlat = (other.latitude - self.latitude).to_radians();
+        let dlon = (other.longitude - self.longitude).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        // Clamp to guard against floating-point drift outside [0, 1].
+        let a = a.clamp(0.0, 1.0);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// One-way propagation delay to `other` in milliseconds, assuming the
+    /// great-circle distance is traversed at [`PROPAGATION_KM_PER_MS`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pm_topo::GeoPoint;
+    /// let a = GeoPoint::new(0.0, 0.0);
+    /// let b = GeoPoint::new(0.0, 1.0); // ~111.2 km along the equator
+    /// assert!((a.propagation_delay_ms(&b) - 0.556).abs() < 0.01);
+    /// ```
+    pub fn propagation_delay_ms(&self, other: &GeoPoint) -> f64 {
+        self.haversine_km(other) / PROPAGATION_KM_PER_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(39.0, -77.0);
+        assert_eq!(p.haversine_km(&p), 0.0);
+        assert_eq!(p.propagation_delay_ms(&p), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = GeoPoint::new(47.6, -122.3);
+        let b = GeoPoint::new(25.8, -80.2);
+        assert!((a.haversine_km(&b) - b.haversine_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_equator_degree() {
+        // One degree of longitude at the equator is ~111.19 km.
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 1.0);
+        assert!((a.haversine_km(&b) - 111.195).abs() < 0.05);
+    }
+
+    #[test]
+    fn antipodal_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((a.haversine_km(&b) - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn delay_matches_distance() {
+        let a = GeoPoint::new(41.9, -87.6); // Chicago
+        let b = GeoPoint::new(33.7, -84.4); // Atlanta
+        let km = a.haversine_km(&b);
+        assert!((a.propagation_delay_ms(&b) - km / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let a = GeoPoint::new(40.7, -74.0);
+        let b = GeoPoint::new(41.9, -87.6);
+        let c = GeoPoint::new(34.0, -118.2);
+        assert!(a.haversine_km(&c) <= a.haversine_km(&b) + b.haversine_km(&c) + 1e-9);
+    }
+}

@@ -1,0 +1,264 @@
+//! Yen's algorithm for the k shortest loopless paths.
+//!
+//! The SD-WAN layer uses k-shortest paths to pre-compute reroute candidates
+//! for programmable flows (the paths a controller could move a flow onto).
+
+use crate::graph::{Graph, NodeId};
+use crate::paths::{path_weight, EPS};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate path ordered by total weight (min-heap behaviour inside a
+/// max-heap).
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    weight: f64,
+    path: Vec<NodeId>,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .weight
+            .partial_cmp(&self.weight)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.path.cmp(&self.path))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra that ignores a set of banned nodes and banned directed edges.
+fn dijkstra_filtered(
+    g: &Graph,
+    source: NodeId,
+    target: NodeId,
+    banned_nodes: &[bool],
+    banned_edges: &[(NodeId, NodeId)],
+) -> Option<Vec<NodeId>> {
+    if banned_nodes[source.0] || banned_nodes[target.0] {
+        return None;
+    }
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.0] = 0.0;
+    heap.push(Candidate {
+        weight: 0.0,
+        path: vec![source],
+    });
+    // A lightweight heap: we only need (dist, node), reuse Candidate with a
+    // single-node path to avoid a second ordering type.
+    while let Some(Candidate { weight: d, path }) = heap.pop() {
+        let v = *path.last().expect("non-empty");
+        if done[v.0] {
+            continue;
+        }
+        done[v.0] = true;
+        if v == target {
+            break;
+        }
+        for (u, e) in g.incident(v) {
+            if banned_nodes[u.0] || banned_edges.iter().any(|&(a, b)| a == v && b == u) {
+                continue;
+            }
+            let nd = d + g.edge(e).weight;
+            if nd + EPS < dist[u.0] {
+                dist[u.0] = nd;
+                parent[u.0] = Some(v);
+                heap.push(Candidate {
+                    weight: nd,
+                    path: vec![u],
+                });
+            }
+        }
+    }
+    if !dist[target.0].is_finite() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(p) = parent[cur.0] {
+        path.push(p);
+        cur = p;
+    }
+    if cur != source {
+        return None;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Returns up to `k` shortest loopless paths from `s` to `t`, ordered by
+/// non-decreasing total weight.
+///
+/// Returns an empty vector when `t` is unreachable, and `vec![vec![s]]` when
+/// `s == t`.
+///
+/// # Panics
+///
+/// Panics if either node is out of range.
+///
+/// # Example
+///
+/// ```
+/// use pm_topo::{Graph, NodeId, ksp};
+/// # fn main() -> Result<(), pm_topo::TopoError> {
+/// let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 2.0)])?;
+/// let paths = ksp::k_shortest_paths(&g, NodeId(0), NodeId(3), 2);
+/// assert_eq!(paths.len(), 2);
+/// assert_eq!(paths[0], vec![NodeId(0), NodeId(1), NodeId(3)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_shortest_paths(g: &Graph, s: NodeId, t: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+    g.check_node(s).expect("source out of range");
+    g.check_node(t).expect("target out of range");
+    if k == 0 {
+        return Vec::new();
+    }
+    if s == t {
+        return vec![vec![s]];
+    }
+    let no_bans = vec![false; g.node_count()];
+    let Some(first) = dijkstra_filtered(g, s, t, &no_bans, &[]) else {
+        return Vec::new();
+    };
+    let mut found = vec![first];
+    let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
+
+    for _ in 1..k {
+        let prev = found.last().expect("at least one found path").clone();
+        for spur_idx in 0..prev.len() - 1 {
+            let spur_node = prev[spur_idx];
+            let root = &prev[..=spur_idx];
+
+            // Ban edges leaving the spur node along any already-found path
+            // sharing this root.
+            let mut banned_edges = Vec::new();
+            for p in &found {
+                if p.len() > spur_idx && p[..=spur_idx] == *root {
+                    banned_edges.push((spur_node, p[spur_idx + 1]));
+                }
+            }
+            // Ban the root nodes (except the spur node) to keep paths simple.
+            let mut banned_nodes = vec![false; g.node_count()];
+            for &v in &root[..spur_idx] {
+                banned_nodes[v.0] = true;
+            }
+
+            if let Some(spur_path) =
+                dijkstra_filtered(g, spur_node, t, &banned_nodes, &banned_edges)
+            {
+                let mut total: Vec<NodeId> = root[..spur_idx].to_vec();
+                total.extend(spur_path);
+                if let Some(w) = path_weight(g, &total) {
+                    if !candidates.iter().any(|c| c.path == total) && !found.contains(&total) {
+                        candidates.push(Candidate {
+                            weight: w,
+                            path: total,
+                        });
+                    }
+                }
+            }
+        }
+        match candidates.pop() {
+            Some(c) => found.push(c.path),
+            None => break,
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn square() -> Graph {
+        // 0-1-3 (weight 2) and 0-2-3 (weight 3), plus direct 0-3 (weight 4).
+        Graph::from_edges(
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 3, 1.0),
+                (0, 2, 1.0),
+                (2, 3, 2.0),
+                (0, 3, 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_path_is_shortest() {
+        let g = square();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 3);
+        assert_eq!(ps[0], vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn paths_in_nondecreasing_weight_order() {
+        let g = square();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 3);
+        assert_eq!(ps.len(), 3);
+        let ws: Vec<f64> = ps.iter().map(|p| path_weight(&g, p).unwrap()).collect();
+        assert!(
+            ws.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "weights {ws:?} not sorted"
+        );
+    }
+
+    #[test]
+    fn paths_are_simple_and_unique() {
+        let g = square();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 10);
+        for p in &ps {
+            let mut seen = std::collections::HashSet::new();
+            assert!(
+                p.iter().all(|v| seen.insert(*v)),
+                "path {p:?} revisits a node"
+            );
+        }
+        let set: std::collections::HashSet<_> = ps.iter().collect();
+        assert_eq!(set.len(), ps.len(), "duplicate paths returned");
+    }
+
+    #[test]
+    fn exhausts_available_paths() {
+        let g = square();
+        // There are exactly 3 simple paths from 0 to 3 in this graph.
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 10);
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        let mut g = Graph::from_edges(2, [(0, 1, 1.0)]).unwrap();
+        let lonely = g.add_node("x", None);
+        assert!(k_shortest_paths(&g, NodeId(0), lonely, 4).is_empty());
+    }
+
+    #[test]
+    fn same_node_trivial_path() {
+        let g = square();
+        assert_eq!(
+            k_shortest_paths(&g, NodeId(1), NodeId(1), 3),
+            vec![vec![NodeId(1)]]
+        );
+    }
+
+    #[test]
+    fn k_zero_empty() {
+        let g = square();
+        assert!(k_shortest_paths(&g, NodeId(0), NodeId(3), 0).is_empty());
+    }
+}

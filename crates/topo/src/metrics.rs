@@ -1,0 +1,180 @@
+//! Topology-level statistics: diameter, average path length, degree
+//! distribution and node centrality — the quantities WAN papers use to
+//! characterize their evaluation topologies.
+
+use crate::graph::{Graph, NodeId};
+use crate::paths;
+
+/// Summary statistics of a connected graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+    /// Weighted diameter: the largest shortest-path distance.
+    pub diameter: f64,
+    /// Mean shortest-path distance over ordered pairs.
+    pub mean_distance: f64,
+    /// Mean hop count of shortest paths over ordered pairs.
+    pub mean_hops: f64,
+}
+
+/// Computes [`GraphStats`]. Returns `None` for empty or disconnected
+/// graphs (distances would be infinite).
+pub fn graph_stats(g: &Graph) -> Option<GraphStats> {
+    if g.node_count() == 0 || !g.is_connected() {
+        return None;
+    }
+    let n = g.node_count();
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut diameter: f64 = 0.0;
+    let mut dist_sum = 0.0;
+    let mut hop_sum = 0usize;
+    let mut pairs = 0usize;
+    for s in g.nodes() {
+        let spt = paths::dijkstra(g, s);
+        for t in g.nodes() {
+            if s == t {
+                continue;
+            }
+            let d = spt.dist_to(t)?;
+            diameter = diameter.max(d);
+            dist_sum += d;
+            hop_sum += spt.path_to(t)?.len() - 1;
+            pairs += 1;
+        }
+    }
+    Some(GraphStats {
+        nodes: n,
+        edges: g.edge_count(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: degrees.iter().sum::<usize>() as f64 / n as f64,
+        diameter,
+        mean_distance: dist_sum / pairs as f64,
+        mean_hops: hop_sum as f64 / pairs as f64,
+    })
+}
+
+/// Shortest-path betweenness-like transit count: for every ordered pair,
+/// each node on the (deterministic) shortest path gets one count —
+/// exactly the quantity the paper's Table III tabulates per switch.
+pub fn transit_counts(g: &Graph) -> Vec<u32> {
+    let mut counts = vec![0u32; g.node_count()];
+    for s in g.nodes() {
+        let spt = paths::dijkstra(g, s);
+        for t in g.nodes() {
+            if s == t {
+                continue;
+            }
+            if let Some(path) = spt.path_to(t) {
+                for v in path {
+                    counts[v.index()] += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The node with the highest transit count (the "hub"); ties to the lower
+/// id. Returns `None` for empty graphs.
+pub fn busiest_node(g: &Graph) -> Option<NodeId> {
+    let counts = transit_counts(g);
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| NodeId(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn line_graph_stats() {
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let s = graph_stats(&g).unwrap();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.diameter, 3.0);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        // Ordered-pair mean distance of a path P4: 2·(3·1 + 2·2 + 1·3)/12.
+        assert!((s.mean_distance - 20.0 / 12.0).abs() < 1e-9);
+        assert!(
+            (s.mean_hops - s.mean_distance).abs() < 1e-9,
+            "unit weights: hops == dist"
+        );
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let mut g = builders::ring(4);
+        g.add_node("x", None);
+        assert!(graph_stats(&g).is_none());
+        assert!(graph_stats(&Graph::new()).is_none());
+    }
+
+    #[test]
+    fn ring_is_regular() {
+        let s = graph_stats(&builders::ring(8)).unwrap();
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.mean_degree, 2.0);
+        assert_eq!(s.diameter, 4.0);
+    }
+
+    #[test]
+    fn star_hub_is_busiest() {
+        let g = builders::star(7);
+        assert_eq!(busiest_node(&g), Some(NodeId(0)));
+        let counts = transit_counts(&g);
+        // Leaves: endpoints of their own 2·6 pairs = 12 each; hub appears
+        // on every one of the 42 ordered-pair paths.
+        assert_eq!(counts[0], 42);
+        assert!(counts[1..].iter().all(|&c| c == 12));
+    }
+
+    #[test]
+    fn att_busiest_is_the_st_louis_hub() {
+        let g = crate::att::att_backbone();
+        assert_eq!(busiest_node(&g), Some(NodeId(13)));
+        let s = graph_stats(&g).unwrap();
+        // Continental US: diameter within a plausible delay range.
+        assert!(
+            s.diameter > 10.0 && s.diameter < 40.0,
+            "diameter {}",
+            s.diameter
+        );
+        assert_eq!(s.max_degree, 10);
+    }
+
+    #[test]
+    fn transit_counts_sum_is_total_path_nodes() {
+        let g = builders::grid(3, 3);
+        let counts = transit_counts(&g);
+        let expect: usize = {
+            let mut total = 0;
+            for s in g.nodes() {
+                let spt = paths::dijkstra(&g, s);
+                for t in g.nodes() {
+                    if s != t {
+                        total += spt.path_to(t).unwrap().len();
+                    }
+                }
+            }
+            total
+        };
+        assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), expect);
+    }
+}

@@ -1,0 +1,482 @@
+//! Reader for Internet Topology Zoo GraphML files.
+//!
+//! The paper's evaluation topology comes from the Topology Zoo \[18\]. This
+//! module parses the subset of GraphML those datasets use — `<key>`
+//! declarations, `<node>` elements with `Latitude`/`Longitude`/`label` data,
+//! and `<edge>` elements — without pulling in an XML dependency. Duplicate
+//! links and self-loops (both present in some Zoo files) are skipped, and
+//! edge weights are set to geographic propagation delay when both endpoints
+//! have coordinates (1.0 otherwise).
+
+use crate::geo::GeoPoint;
+use crate::graph::{Graph, NodeId};
+use crate::TopoError;
+use std::collections::HashMap;
+
+/// A parsed tag: name plus attribute map.
+#[derive(Debug)]
+struct Tag<'a> {
+    name: &'a str,
+    attrs: HashMap<&'a str, String>,
+    /// Byte offset just past the closing `>` of the opening tag.
+    end: usize,
+    /// Whether the tag is self-closing (`<node ... />`).
+    self_closing: bool,
+}
+
+fn line_of(text: &str, pos: usize) -> usize {
+    text[..pos.min(text.len())]
+        .bytes()
+        .filter(|&b| b == b'\n')
+        .count()
+        + 1
+}
+
+fn parse_err(text: &str, pos: usize, message: impl Into<String>) -> TopoError {
+    TopoError::Parse {
+        line: line_of(text, pos),
+        message: message.into(),
+    }
+}
+
+/// Scans the next tag starting at or after `from`. Returns `None` at EOF.
+fn next_tag<'a>(text: &'a str, from: usize) -> Result<Option<Tag<'a>>, TopoError> {
+    let mut search = from;
+    loop {
+        let Some(rel) = text[search..].find('<') else {
+            return Ok(None);
+        };
+        let start = search + rel;
+        // Skip comments and processing instructions.
+        if text[start..].starts_with("<!--") {
+            let close = text[start..]
+                .find("-->")
+                .ok_or_else(|| parse_err(text, start, "unterminated comment"))?;
+            search = start + close + 3;
+            continue;
+        }
+        if text[start..].starts_with("<?") {
+            let close = text[start..]
+                .find("?>")
+                .ok_or_else(|| parse_err(text, start, "unterminated processing instruction"))?;
+            search = start + close + 2;
+            continue;
+        }
+        let close_rel = text[start..]
+            .find('>')
+            .ok_or_else(|| parse_err(text, start, "unterminated tag"))?;
+        let inner = &text[start + 1..start + close_rel];
+        let self_closing = inner.ends_with('/');
+        let inner = inner.trim_end_matches('/').trim();
+        let (name, rest) = match inner.find(char::is_whitespace) {
+            Some(i) => (&inner[..i], &inner[i..]),
+            None => (inner, ""),
+        };
+        let attrs = parse_attrs(text, start, rest)?;
+        return Ok(Some(Tag {
+            name,
+            attrs,
+            end: start + close_rel + 1,
+            self_closing,
+        }));
+    }
+}
+
+fn parse_attrs<'a>(
+    text: &str,
+    tag_start: usize,
+    mut rest: &'a str,
+) -> Result<HashMap<&'a str, String>, TopoError> {
+    let mut attrs = HashMap::new();
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return Ok(attrs);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| parse_err(text, tag_start, "attribute without '='"))?;
+        let key = rest[..eq].trim();
+        let after = rest[eq + 1..].trim_start();
+        let quote = after
+            .chars()
+            .next()
+            .filter(|&c| c == '"' || c == '\'')
+            .ok_or_else(|| parse_err(text, tag_start, "unquoted attribute value"))?;
+        let value_end = after[1..]
+            .find(quote)
+            .ok_or_else(|| parse_err(text, tag_start, "unterminated attribute value"))?;
+        attrs.insert(key, unescape(&after[1..1 + value_end]));
+        rest = &after[value_end + 2..];
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+}
+
+/// Attribute keys we care about, resolved from `<key>` declarations.
+#[derive(Debug, Default)]
+struct KeyMap {
+    latitude: Option<String>,
+    longitude: Option<String>,
+    label: Option<String>,
+}
+
+/// Parses a Topology Zoo GraphML document into a [`Graph`].
+///
+/// # Errors
+///
+/// Returns [`TopoError::Parse`] for malformed documents and propagates graph
+/// construction errors (these should not occur because duplicates and
+/// self-loops are filtered).
+///
+/// # Example
+///
+/// ```
+/// let doc = r#"<?xml version="1.0"?>
+/// <graphml>
+///   <key attr.name="Latitude" attr.type="double" for="node" id="d0"/>
+///   <key attr.name="Longitude" attr.type="double" for="node" id="d1"/>
+///   <key attr.name="label" attr.type="string" for="node" id="d2"/>
+///   <graph edgedefault="undirected">
+///     <node id="0"><data key="d0">41.88</data><data key="d1">-87.63</data>
+///       <data key="d2">Chicago</data></node>
+///     <node id="1"><data key="d0">38.63</data><data key="d1">-90.20</data>
+///       <data key="d2">St. Louis</data></node>
+///     <edge source="0" target="1"/>
+///   </graph>
+/// </graphml>"#;
+/// let g = pm_topo::zoo::parse_graphml(doc)?;
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.node(pm_topo::NodeId(0)).name, "Chicago");
+/// # Ok::<(), pm_topo::TopoError>(())
+/// ```
+pub fn parse_graphml(text: &str) -> Result<Graph, TopoError> {
+    let mut keys = KeyMap::default();
+    let mut g = Graph::new();
+    let mut id_to_node: HashMap<String, NodeId> = HashMap::new();
+    // (node, lat, lon, label) accumulated before insertion.
+    let mut pos = 0usize;
+    let mut pending_edges: Vec<(String, String)> = Vec::new();
+
+    while let Some(tag) = next_tag(text, pos)? {
+        pos = tag.end;
+        match tag.name {
+            "key" => {
+                let (Some(name), Some(id)) = (tag.attrs.get("attr.name"), tag.attrs.get("id"))
+                else {
+                    continue;
+                };
+                match name.to_ascii_lowercase().as_str() {
+                    "latitude" => keys.latitude = Some(id.clone()),
+                    "longitude" => keys.longitude = Some(id.clone()),
+                    "label" => keys.label = Some(id.clone()),
+                    _ => {}
+                }
+            }
+            "node" => {
+                let id = tag
+                    .attrs
+                    .get("id")
+                    .cloned()
+                    .ok_or_else(|| parse_err(text, tag.end, "node without id"))?;
+                let mut lat = None;
+                let mut lon = None;
+                let mut label = None;
+                if !tag.self_closing {
+                    pos = parse_node_data(text, pos, &keys, &mut lat, &mut lon, &mut label)?;
+                }
+                let position = match (lat, lon) {
+                    (Some(la), Some(lo)) => Some(GeoPoint::new(la, lo)),
+                    _ => None,
+                };
+                let node = g.add_node(label.unwrap_or_else(|| id.clone()), position);
+                if id_to_node.insert(id, node).is_some() {
+                    return Err(parse_err(text, tag.end, "duplicate node id"));
+                }
+            }
+            "edge" => {
+                let (Some(s), Some(t)) = (tag.attrs.get("source"), tag.attrs.get("target")) else {
+                    return Err(parse_err(text, tag.end, "edge without source/target"));
+                };
+                pending_edges.push((s.clone(), t.clone()));
+                if !tag.self_closing {
+                    pos = skip_to_close(text, pos, "edge")?;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (s, t) in pending_edges {
+        let a = *id_to_node.get(&s).ok_or_else(|| {
+            parse_err(
+                text,
+                text.len(),
+                format!("edge references unknown node {s}"),
+            )
+        })?;
+        let b = *id_to_node.get(&t).ok_or_else(|| {
+            parse_err(
+                text,
+                text.len(),
+                format!("edge references unknown node {t}"),
+            )
+        })?;
+        if a == b || g.find_edge(a, b).is_some() {
+            continue; // Zoo files contain self-loops and duplicate links.
+        }
+        let weight = match (g.node(a).position, g.node(b).position) {
+            (Some(pa), Some(pb)) => pa.propagation_delay_ms(&pb),
+            _ => 1.0,
+        };
+        g.add_edge(a, b, weight)?;
+    }
+    Ok(g)
+}
+
+/// Parses `<data>` children of a `<node>` until `</node>`; returns the new
+/// scan position.
+fn parse_node_data(
+    text: &str,
+    mut pos: usize,
+    keys: &KeyMap,
+    lat: &mut Option<f64>,
+    lon: &mut Option<f64>,
+    label: &mut Option<String>,
+) -> Result<usize, TopoError> {
+    loop {
+        let Some(tag) = next_tag(text, pos)? else {
+            return Err(parse_err(text, pos, "unterminated <node>"));
+        };
+        pos = tag.end;
+        match tag.name {
+            "/node" => return Ok(pos),
+            "data" if !tag.self_closing => {
+                let key = tag.attrs.get("key").cloned().unwrap_or_default();
+                let close = text[pos..]
+                    .find("</data>")
+                    .ok_or_else(|| parse_err(text, pos, "unterminated <data>"))?;
+                let value = unescape(text[pos..pos + close].trim());
+                pos += close + "</data>".len();
+                if Some(&key) == keys.latitude.as_ref() {
+                    *lat = value.parse::<f64>().ok();
+                } else if Some(&key) == keys.longitude.as_ref() {
+                    *lon = value.parse::<f64>().ok();
+                } else if Some(&key) == keys.label.as_ref() {
+                    *label = Some(value);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Skips forward until the closing tag `</name>`; returns the new position.
+fn skip_to_close(text: &str, mut pos: usize, name: &str) -> Result<usize, TopoError> {
+    let closing = format!("/{name}");
+    loop {
+        let Some(tag) = next_tag(text, pos)? else {
+            return Err(parse_err(text, pos, format!("unterminated <{name}>")));
+        };
+        pos = tag.end;
+        if tag.name == closing {
+            return Ok(pos);
+        }
+    }
+}
+
+/// Serializes a graph to Topology Zoo-style GraphML (with `Latitude`,
+/// `Longitude` and `label` node attributes where present). The output
+/// round-trips through [`parse_graphml`].
+pub fn to_graphml(g: &Graph) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+            .replace('"', "&quot;")
+    }
+    let mut out = String::from(
+        "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n\
+         <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+         \u{20} <key attr.name=\"Latitude\" attr.type=\"double\" for=\"node\" id=\"d0\"/>\n\
+         \u{20} <key attr.name=\"Longitude\" attr.type=\"double\" for=\"node\" id=\"d1\"/>\n\
+         \u{20} <key attr.name=\"label\" attr.type=\"string\" for=\"node\" id=\"d2\"/>\n\
+         \u{20} <graph edgedefault=\"undirected\">\n",
+    );
+    for v in g.nodes() {
+        let meta = g.node(v);
+        out.push_str(&format!("    <node id=\"{}\">\n", v.index()));
+        if let Some(p) = meta.position {
+            out.push_str(&format!("      <data key=\"d0\">{}</data>\n", p.latitude));
+            out.push_str(&format!("      <data key=\"d1\">{}</data>\n", p.longitude));
+        }
+        out.push_str(&format!(
+            "      <data key=\"d2\">{}</data>\n",
+            escape(&meta.name)
+        ));
+        out.push_str("    </node>\n");
+    }
+    for e in g.edges() {
+        out.push_str(&format!(
+            "    <edge source=\"{}\" target=\"{}\"/>\n",
+            e.a.index(),
+            e.b.index()
+        ));
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+/// Reads and parses a GraphML file from disk.
+///
+/// # Errors
+///
+/// Returns a parse error annotated with the I/O failure message if the file
+/// cannot be read, or any error from [`parse_graphml`].
+pub fn load_graphml_file(path: impl AsRef<std::path::Path>) -> Result<Graph, TopoError> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| TopoError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    parse_graphml(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <!-- a comment -->
+  <key attr.name="Latitude" attr.type="double" for="node" id="d29"/>
+  <key attr.name="Longitude" attr.type="double" for="node" id="d32"/>
+  <key attr.name="label" attr.type="string" for="node" id="d33"/>
+  <graph edgedefault="undirected">
+    <node id="0">
+      <data key="d29">47.6062</data>
+      <data key="d32">-122.3321</data>
+      <data key="d33">Seattle</data>
+    </node>
+    <node id="1">
+      <data key="d29">45.5152</data>
+      <data key="d32">-122.6784</data>
+      <data key="d33">Portland</data>
+    </node>
+    <node id="2">
+      <data key="d33">NoCoords</data>
+    </node>
+    <edge source="0" target="1"/>
+    <edge source="0" target="1"/>
+    <edge source="1" target="1"/>
+    <edge source="1" target="2"><data key="x">ignored</data></edge>
+  </graph>
+</graphml>"#;
+
+    #[test]
+    fn parses_nodes_with_metadata() {
+        let g = parse_graphml(SAMPLE).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.node(NodeId(0)).name, "Seattle");
+        let p = g.node(NodeId(0)).position.unwrap();
+        assert!((p.latitude - 47.6062).abs() < 1e-9);
+        assert!(g.node(NodeId(2)).position.is_none());
+    }
+
+    #[test]
+    fn skips_duplicates_and_self_loops() {
+        let g = parse_graphml(SAMPLE).unwrap();
+        assert_eq!(g.edge_count(), 2); // 0-1 once, 1-2 once
+    }
+
+    #[test]
+    fn geo_weight_when_both_have_coords() {
+        let g = parse_graphml(SAMPLE).unwrap();
+        let w = g.edge_weight(NodeId(0), NodeId(1)).unwrap();
+        let expected = GeoPoint::new(47.6062, -122.3321)
+            .propagation_delay_ms(&GeoPoint::new(45.5152, -122.6784));
+        assert!((w - expected).abs() < 1e-9);
+        // Edge to the node without coordinates defaults to 1.0.
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(2)), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_unknown_edge_endpoint() {
+        let doc = r#"<graphml><graph>
+            <node id="a"/>
+            <edge source="a" target="zz"/>
+        </graph></graphml>"#;
+        assert!(matches!(parse_graphml(doc), Err(TopoError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_node_id() {
+        let doc = r#"<graphml><graph>
+            <node id="a"/><node id="a"/>
+        </graph></graphml>"#;
+        assert!(matches!(parse_graphml(doc), Err(TopoError::Parse { .. })));
+    }
+
+    #[test]
+    fn unescapes_entities() {
+        let doc = r#"<graphml>
+            <key attr.name="label" for="node" id="d1"/>
+            <graph><node id="0"><data key="d1">A &amp; B</data></node></graph>
+        </graphml>"#;
+        let g = parse_graphml(doc).unwrap();
+        assert_eq!(g.node(NodeId(0)).name, "A & B");
+    }
+
+    #[test]
+    fn writer_roundtrips_through_parser() {
+        let g = crate::att::att_backbone();
+        let text = to_graphml(&g);
+        let parsed = parse_graphml(&text).unwrap();
+        assert_eq!(parsed.node_count(), g.node_count());
+        assert_eq!(parsed.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(parsed.node(v).name, g.node(v).name);
+            let (a, b) = (
+                parsed.node(v).position.unwrap(),
+                g.node(v).position.unwrap(),
+            );
+            assert!((a.latitude - b.latitude).abs() < 1e-9);
+            assert!((a.longitude - b.longitude).abs() < 1e-9);
+        }
+        for e in g.edges() {
+            let w = parsed.edge_weight(e.a, e.b).expect("edge preserved");
+            assert!(
+                (w - e.weight).abs() < 1e-9,
+                "weight drift on {}-{}",
+                e.a,
+                e.b
+            );
+        }
+    }
+
+    #[test]
+    fn writer_escapes_names() {
+        let mut g = Graph::new();
+        g.add_node("A & B <x>", None);
+        let text = to_graphml(&g);
+        assert!(text.contains("A &amp; B &lt;x&gt;"));
+        let parsed = parse_graphml(&text).unwrap();
+        assert_eq!(parsed.node(NodeId(0)).name, "A & B <x>");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_graphml_file("/nonexistent/file.graphml").is_err());
+    }
+
+    #[test]
+    fn empty_document_gives_empty_graph() {
+        let g = parse_graphml("<graphml></graphml>").unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

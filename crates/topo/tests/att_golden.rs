@@ -1,0 +1,72 @@
+//! Golden regression tests for the embedded ATT-like backbone.
+//!
+//! The evaluation's headline effects depend on structural properties of
+//! this topology (hub flow counts, domain loads, residual capacities); an
+//! accidental edit to `att::LINKS` or the city list would silently change
+//! every figure. These snapshots pin the derived quantities — update them
+//! deliberately if the topology is retuned, and re-run the `pm-bench`
+//! binaries plus EXPERIMENTS.md when you do.
+
+use pm_topo::att::{att_backbone, DEFAULT_DOMAINS};
+use pm_topo::metrics::{busiest_node, transit_counts};
+use pm_topo::NodeId;
+
+/// The all-pairs shortest-path transit counts (= Table III "flows (ours)"),
+/// indexed by node id.
+const GOLDEN_GAMMA: [u32; 25] = [
+    76, 48, 102, 118, 90, 194, 80, 48, 70, 48, 62, 54, 60, 254, 110, 48, 168, 48, 116, 48, 74, 60,
+    60, 68, 116,
+];
+
+#[test]
+fn transit_counts_snapshot() {
+    let g = att_backbone();
+    let counts = transit_counts(&g);
+    assert_eq!(
+        counts, GOLDEN_GAMMA,
+        "topology drift: re-derive Table III and EXPERIMENTS.md"
+    );
+}
+
+#[test]
+fn hub_is_st_louis() {
+    let g = att_backbone();
+    assert_eq!(busiest_node(&g), Some(NodeId(13)));
+    assert_eq!(GOLDEN_GAMMA[13], 254);
+}
+
+#[test]
+fn domain_loads_snapshot() {
+    // Per-controller normal-operation loads (sums of GOLDEN_GAMMA over the
+    // Table III domains) — all within the paper's capacity of 500, with
+    // the residuals the headline cases rely on.
+    let expected: [(usize, u32); 6] = [
+        (2, 436),
+        (5, 464),
+        (6, 252),
+        (13, 478),
+        (20, 122),
+        (22, 468),
+    ];
+    for ((ctrl, switches), (exp_ctrl, exp_load)) in DEFAULT_DOMAINS.iter().zip(expected) {
+        assert_eq!(*ctrl, exp_ctrl);
+        let load: u32 = switches.iter().map(|&s| GOLDEN_GAMMA[s]).sum();
+        assert_eq!(load, exp_load, "domain load of C{ctrl} drifted");
+        assert!(load <= 500, "C{ctrl} exceeds the paper's capacity");
+    }
+}
+
+#[test]
+fn headline_condition_holds() {
+    // Under the (13, 20) failure the hub's γ must exceed every surviving
+    // controller's residual capacity — the condition that produces the
+    // paper's 315 %/340 % results.
+    let residuals = [500 - 436, 500 - 464, 500 - 252, 500 - 468]; // C2, C5, C6, C22
+    for r in residuals {
+        assert!(
+            GOLDEN_GAMMA[13] > r,
+            "hub γ {} no longer exceeds residual {r}",
+            GOLDEN_GAMMA[13]
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the graph substrate.
+
+use pm_topo::paths::{self, PathCounts};
+use pm_topo::{ksp, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with `3..=14` nodes and random positive
+/// edge weights. Not necessarily connected.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=14).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0usize..n, 0usize..n, 0.1f64..10.0), 0..=max_edges).prop_map(
+            move |edges| {
+                let mut g = Graph::with_capacity(n);
+                for i in 0..n {
+                    g.add_node(format!("n{i}"), None);
+                }
+                for (a, b, w) in edges {
+                    if a != b {
+                        // Ignore duplicates; add_edge rejects them.
+                        let _ = g.add_edge(NodeId(a), NodeId(b), w);
+                    }
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Dijkstra distances satisfy the edge relaxation inequality everywhere.
+    #[test]
+    fn dijkstra_distances_are_tight(g in arb_graph()) {
+        for s in g.nodes() {
+            let spt = paths::dijkstra(&g, s);
+            for e in g.edges() {
+                let da = spt.distances()[e.a.index()];
+                let db = spt.distances()[e.b.index()];
+                if da.is_finite() {
+                    prop_assert!(db <= da + e.weight + 1e-6,
+                        "relaxable edge {}-{} from source {s}", e.a, e.b);
+                }
+                if db.is_finite() {
+                    prop_assert!(da <= db + e.weight + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// The reconstructed path's total weight equals the reported distance.
+    #[test]
+    fn dijkstra_paths_match_distances(g in arb_graph()) {
+        let s = NodeId(0);
+        let spt = paths::dijkstra(&g, s);
+        for t in g.nodes() {
+            if let Some(p) = spt.path_to(t) {
+                prop_assert_eq!(*p.first().unwrap(), s);
+                prop_assert_eq!(*p.last().unwrap(), t);
+                let w = paths::path_weight(&g, &p).expect("consecutive nodes are edges");
+                let d = spt.dist_to(t).unwrap();
+                prop_assert!((w - d).abs() < 1e-6, "path weight {w} != dist {d}");
+            }
+        }
+    }
+
+    /// Dijkstra distance is symmetric on undirected graphs.
+    #[test]
+    fn dijkstra_symmetric(g in arb_graph()) {
+        let from0 = paths::dijkstra(&g, NodeId(0));
+        for t in g.nodes() {
+            let back = paths::dijkstra(&g, t);
+            let d1 = from0.dist_to(t);
+            let d2 = back.dist_to(NodeId(0));
+            match (d1, d2) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6),
+                (None, None) => {}
+                _ => prop_assert!(false, "asymmetric reachability"),
+            }
+        }
+    }
+
+    /// Loop-free path counts: every node's count equals the sum of its
+    /// loop-free next hops' counts (the defining DP invariant).
+    #[test]
+    fn path_counts_dp_invariant(g in arb_graph()) {
+        for dest in g.nodes() {
+            let pc = PathCounts::toward(&g, dest);
+            for v in g.nodes() {
+                if v == dest || !pc.dist_from(v).is_finite() {
+                    continue;
+                }
+                let sum: u64 = pc.next_hops(&g, v).map(|u| pc.count_from(u)).sum();
+                prop_assert_eq!(pc.count_from(v), sum);
+            }
+        }
+    }
+
+    /// DAG path counts never exceed the exhaustive simple-path count.
+    #[test]
+    fn path_counts_bounded_by_exhaustive(g in arb_graph()) {
+        let dest = NodeId(0);
+        let pc = PathCounts::toward(&g, dest);
+        for v in g.nodes() {
+            if v == dest { continue; }
+            let exhaustive = paths::count_simple_paths(&g, v, dest, g.node_count());
+            prop_assert!(pc.count_from(v) <= exhaustive);
+        }
+    }
+
+    /// Yen's k-shortest paths: simple, unique, sorted by weight, and the
+    /// first one matches Dijkstra.
+    #[test]
+    fn ksp_invariants(g in arb_graph(), k in 1usize..5) {
+        let (s, t) = (NodeId(0), NodeId(1));
+        let ps = ksp::k_shortest_paths(&g, s, t, k);
+        let spt = paths::dijkstra(&g, s);
+        match spt.dist_to(t) {
+            None => prop_assert!(ps.is_empty()),
+            Some(d) => {
+                prop_assert!(!ps.is_empty());
+                let w0 = paths::path_weight(&g, &ps[0]).unwrap();
+                prop_assert!((w0 - d).abs() < 1e-6, "first ksp path not shortest");
+                let mut prev = 0.0f64;
+                let mut seen = std::collections::HashSet::new();
+                for p in &ps {
+                    prop_assert_eq!(*p.first().unwrap(), s);
+                    prop_assert_eq!(*p.last().unwrap(), t);
+                    let mut nodes = std::collections::HashSet::new();
+                    prop_assert!(p.iter().all(|v| nodes.insert(*v)), "non-simple path");
+                    let w = paths::path_weight(&g, p).unwrap();
+                    prop_assert!(w + 1e-6 >= prev, "paths not sorted by weight");
+                    prev = w;
+                    prop_assert!(seen.insert(p.clone()), "duplicate path");
+                }
+            }
+        }
+    }
+
+    /// BFS hop counts agree with Dijkstra on a unit-weight copy of the graph.
+    #[test]
+    fn bfs_matches_unit_dijkstra(g in arb_graph()) {
+        let mut unit = Graph::with_capacity(g.node_count());
+        for v in g.nodes() {
+            unit.add_node(g.node(v).name.clone(), None);
+        }
+        for e in g.edges() {
+            unit.add_edge(e.a, e.b, 1.0).unwrap();
+        }
+        let hops = paths::bfs_hops(&g, NodeId(0));
+        let spt = paths::dijkstra(&unit, NodeId(0));
+        for v in g.nodes() {
+            match spt.dist_to(v) {
+                Some(d) => prop_assert_eq!(hops[v.index()], d.round() as usize),
+                None => prop_assert_eq!(hops[v.index()], usize::MAX),
+            }
+        }
+    }
+}

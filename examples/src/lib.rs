@@ -1,0 +1,3 @@
+//! Support library for the runnable examples. The examples themselves live
+//! in `src/bin/`; run them with e.g. `cargo run -p pm-examples --bin
+//! quickstart`.

@@ -1,0 +1,14 @@
+//! Cross-crate integration tests live in `tests/`; this library only hosts
+//! shared fixtures.
+
+use pm_sdwan::{Programmability, SdWan, SdWanBuilder};
+
+/// The paper's evaluation network plus its programmability table, built
+/// once per fixture call.
+pub fn paper_fixture() -> (SdWan, Programmability) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+    (net, prog)
+}

@@ -1,0 +1,196 @@
+//! Cross-crate integration: topology → SD-WAN → FMSSM → algorithms →
+//! metrics → simulation, exercised together the way a user would.
+
+use pm_core::{DelayBound, FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWanBuilder};
+use pm_simctl::{RecoveryTiming, SimTime, Simulation};
+use pm_tests_integration::paper_fixture;
+use pm_topo::{builders, NodeId};
+use std::time::Duration;
+
+/// The paper's central qualitative claims, checked on every two-failure
+/// case: PM and PG recover every recoverable flow with balanced (≥ 2)
+/// programmability and dominate RetroFlow on total programmability;
+/// RetroFlow leaves flows at zero.
+#[test]
+fn two_failure_shape_matches_paper() {
+    let (net, prog) = paper_fixture();
+    let m = net.controllers().len();
+    let mut pm_beats_retro = 0;
+    let mut cases = 0;
+    for a in 0..m {
+        for b in a + 1..m {
+            cases += 1;
+            let scenario = net.fail(&[ControllerId(a), ControllerId(b)]).unwrap();
+            let inst = FmssmInstance::new(&scenario, &prog);
+
+            let retro = RetroFlow::new().recover(&inst).unwrap();
+            let pm = Pm::new().recover(&inst).unwrap();
+            let pg = Pg::new().recover(&inst).unwrap();
+            retro.validate(&scenario, &prog, false).unwrap();
+            pm.validate(&scenario, &prog, false).unwrap();
+            pg.validate(&scenario, &prog, true).unwrap();
+
+            let m_retro = PlanMetrics::compute(&scenario, &prog, &retro, 0.0);
+            let m_pm = PlanMetrics::compute(&scenario, &prog, &pm, 0.0);
+            let m_pg = PlanMetrics::compute(&scenario, &prog, &pg, 0.48);
+
+            // Fig. 5(a): PM/PG balanced with min ≥ 2 whenever they recover
+            // everything; RetroFlow's min is 0 when it leaves flows behind.
+            if m_pm.recovered_flows == m_pm.recoverable_flows {
+                assert!(
+                    m_pm.min_programmability_recoverable() >= 2,
+                    "case ({a},{b})"
+                );
+            }
+            if m_pg.recovered_flows == m_pg.recoverable_flows {
+                assert!(
+                    m_pg.min_programmability_recoverable() >= 2,
+                    "case ({a},{b})"
+                );
+            }
+            if m_retro.recovered_flows < m_retro.recoverable_flows {
+                assert_eq!(m_retro.min_programmability_recoverable(), 0);
+            }
+
+            // Fig. 5(b)/(c): PM at least matches RetroFlow everywhere.
+            assert!(
+                m_pm.total_programmability >= m_retro.total_programmability,
+                "case ({a},{b})"
+            );
+            assert!(m_pm.recovered_flows >= m_retro.recovered_flows);
+            if m_pm.total_programmability > m_retro.total_programmability {
+                pm_beats_retro += 1;
+            }
+
+            // Fig. 5(d): PM recovers at least as many switches.
+            assert!(m_pm.recovered_switches >= m_retro.recovered_switches);
+        }
+    }
+    // PM must strictly beat RetroFlow in the vast majority of cases.
+    assert!(pm_beats_retro * 10 >= cases * 9, "{pm_beats_retro}/{cases}");
+}
+
+#[test]
+fn headline_case_reproduces_the_paper_story() {
+    // (13, 20): the hub's control cost exceeds every residual capacity, so
+    // switch-level RetroFlow cannot recover it but per-flow PM can — the
+    // mechanism behind the paper's "315 %" number.
+    let (net, prog) = paper_fixture();
+    let scenario = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+    let hub = pm_sdwan::SwitchId(13);
+    for &c in scenario.active_controllers() {
+        assert!(net.gamma(hub) > scenario.residual_capacity(c));
+    }
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let retro = RetroFlow::new().recover(&inst).unwrap();
+    let pm = Pm::new().recover(&inst).unwrap();
+    assert_eq!(
+        retro.controller_of(hub),
+        None,
+        "RetroFlow cannot adopt the hub"
+    );
+    assert!(
+        pm.controller_of(hub).is_some(),
+        "PM adopts the hub per-flow"
+    );
+    let m_retro = PlanMetrics::compute(&scenario, &prog, &retro, 0.0);
+    let m_pm = PlanMetrics::compute(&scenario, &prog, &pm, 0.0);
+    let gain = m_pm.total_programmability as f64 / m_retro.total_programmability.max(1) as f64;
+    assert!(gain > 1.5, "PM/RetroFlow gain only {gain:.2}x");
+}
+
+#[test]
+fn optimal_warm_start_dominates_pm_without_delay_bound() {
+    let (net, prog) = paper_fixture();
+    let scenario = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let pm = Pm::new().recover(&inst).unwrap();
+    let m_pm = PlanMetrics::compute(&scenario, &prog, &pm, 0.0);
+    let out = Optimal::new()
+        .delay_bound(DelayBound::Unbounded)
+        .time_limit(Duration::from_secs(3))
+        .solve_detailed(&inst)
+        .unwrap();
+    let m_opt = PlanMetrics::compute(&scenario, &prog, &out.plan, 0.0);
+    assert!(
+        inst.objective(&m_opt.per_flow_programmability, true)
+            >= inst.objective(&m_pm.per_flow_programmability, true) - 1e-9
+    );
+}
+
+#[test]
+fn plans_animate_in_the_simulator() {
+    let (net, prog) = paper_fixture();
+    let failed = [ControllerId(3)];
+    let scenario = net.fail(&failed).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    let plan = Pm::new().recover(&inst).unwrap();
+    let mut sim = Simulation::new(&net);
+    sim.schedule_failure(SimTime::from_ms(10.0), &failed);
+    sim.schedule_recovery(
+        SimTime::from_ms(20.0),
+        &scenario,
+        &plan,
+        RecoveryTiming::default(),
+    );
+    let report = sim.run(SimTime::from_ms(60_000.0)).unwrap();
+    assert!(report.all_flows_deliverable);
+    assert_eq!(report.flow_mods_sent, plan.sdn_count());
+    // Static capacity use equals dynamic FlowMod count for per-flow plans.
+    let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+    assert_eq!(
+        metrics.total_capacity_used() as usize,
+        report.flow_mods_sent
+    );
+}
+
+#[test]
+fn pipeline_works_on_generated_topologies() {
+    // The whole stack on a Waxman WAN — nothing is ATT-specific.
+    let g = builders::waxman(&pm_topo::builders::WaxmanParams {
+        nodes: 20,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let net = SdWanBuilder::new(g)
+        .controller(NodeId(0), 2_000)
+        .controller(NodeId(10), 2_000)
+        .controller(NodeId(19), 2_000)
+        .build()
+        .unwrap();
+    let prog = Programmability::compute(&net);
+    let scenario = net.fail(&[ControllerId(0)]).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    for algo in [
+        &RetroFlow::new() as &dyn RecoveryAlgorithm,
+        &Pm::new(),
+        &Pg::new(),
+    ] {
+        let plan = algo.recover(&inst).unwrap();
+        plan.validate(&scenario, &prog, algo.is_flow_level())
+            .unwrap();
+    }
+}
+
+#[test]
+fn metrics_capacity_equals_plan_usage_for_all_algorithms() {
+    let (net, prog) = paper_fixture();
+    let scenario = net.fail(&[ControllerId(2), ControllerId(3)]).unwrap();
+    let inst = FmssmInstance::new(&scenario, &prog);
+    for algo in [
+        &RetroFlow::new() as &dyn RecoveryAlgorithm,
+        &Pm::new(),
+        &Pg::new(),
+    ] {
+        let plan = algo.recover(&inst).unwrap();
+        let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        let usage: u32 = plan.controller_usage(&scenario).values().sum();
+        assert_eq!(metrics.total_capacity_used(), usage, "{}", algo.name());
+        // No controller is overcommitted.
+        for u in &metrics.controller_usage {
+            assert!(u.used <= u.available, "{} overcommits {u:?}", algo.name());
+        }
+    }
+}
