@@ -7,15 +7,23 @@
 //! the study's point: RetroFlow falls off a cliff as soon as the hub no
 //! longer fits anywhere, PM and PG degrade gracefully.
 //!
-//! Run: `cargo run --release -p pm-bench --bin capacity_sweep`
+//! Each capacity point is an independent network, so the points run in
+//! parallel across the worker pool (`--jobs N`); rows are merged back in
+//! capacity order.
+//!
+//! Run: `cargo run --release -p pm-bench --bin capacity_sweep [--jobs N]`
 
+use pm_bench::par::par_map;
 use pm_bench::report::{pct, render_table};
+use pm_bench::EvalOptions;
 use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, RetroFlow};
-use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWanBuilder};
+use pm_sdwan::{ControllerId, NetCache, PlanMetrics, SdWanBuilder};
+
+const CAPACITIES: [u32; 8] = [450, 475, 500, 525, 550, 600, 700, 800];
 
 fn main() {
-    let mut rows = Vec::new();
-    for capacity in [450u32, 475, 500, 525, 550, 600, 700, 800] {
+    let opts = EvalOptions::from_args();
+    let results = par_map(&CAPACITIES, opts.jobs, |_, &capacity| {
         let builder = SdWanBuilder::att_paper_setup_with_capacity(capacity);
         // Below ~490 some domain overloads; study that regime too.
         let net = match builder.clone().build() {
@@ -25,11 +33,12 @@ fn main() {
                 .build()
                 .expect("builds with waiver"),
         };
-        let prog = Programmability::compute(&net);
+        let cache = NetCache::build(&net);
         let scenario = net
-            .fail(&[ControllerId(3), ControllerId(4)])
+            .fail_cached(&[ControllerId(3), ControllerId(4)], &cache)
             .expect("valid");
-        let inst = FmssmInstance::new(&scenario, &prog);
+        let prog = cache.programmability();
+        let inst = FmssmInstance::with_cache(&scenario, prog, &cache);
 
         let mut cells = vec![capacity.to_string()];
         let recoverable = inst.recoverable_flow_count();
@@ -41,28 +50,28 @@ fn main() {
             &Pg::new(),
         ] {
             let plan = algo.recover(&inst).expect("plan");
-            plan.validate(&scenario, &prog, algo.is_flow_level())
+            plan.validate(&scenario, prog, algo.is_flow_level())
                 .expect("valid plan");
-            let m = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+            let m = PlanMetrics::compute(&scenario, prog, &plan, 0.0);
             cells.push(format!(
                 "{} ({})",
                 pct(m.recovered_flows as f64 / recoverable.max(1) as f64),
                 m.total_programmability
             ));
         }
-        rows.push(cells);
-    }
+        (cells, capacity, recoverable)
+    });
+
+    let paper_point_recoverable = results
+        .iter()
+        .find(|&&(_, capacity, _)| capacity == 500)
+        .map(|&(_, _, recoverable)| recoverable)
+        .expect("sweep includes the paper's operating point");
+    let rows: Vec<Vec<String>> = results.into_iter().map(|(cells, _, _)| cells).collect();
+
     println!(
-        "capacity sensitivity on the (13,20) failure — recovered % of {} recoverable \
-         flows (total programmability)\n",
-        {
-            let net = SdWanBuilder::att_paper_setup().build().expect("builds");
-            let prog = Programmability::compute(&net);
-            let sc = net
-                .fail(&[ControllerId(3), ControllerId(4)])
-                .expect("valid");
-            FmssmInstance::new(&sc, &prog).recoverable_flow_count()
-        }
+        "capacity sensitivity on the (13,20) failure — recovered % of {paper_point_recoverable} \
+         recoverable flows (total programmability)\n"
     );
     print!(
         "{}",

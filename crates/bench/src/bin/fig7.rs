@@ -1,30 +1,37 @@
 //! Regenerates the paper's Fig. 7: PM's computation time as a percentage of
 //! Optimal's, for one/two/three controller failures.
 //!
-//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--csv DIR]`
+//! With `--skip-optimal` there is no Optimal baseline to normalize against,
+//! so the binary reports absolute per-case heuristic timing statistics
+//! (mean / p95 / max per algorithm and failure count) instead — the mode
+//! used to measure the sweep engine itself.
+//!
+//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]`
 
-use pm_bench::harness::{run_case, EvalOptions};
+use pm_bench::figures::{timing_rows, TIMING_HEADERS};
+use pm_bench::harness::EvalOptions;
 use pm_bench::report::{render_table, write_csv};
-use pm_bench::sweep::combinations;
-use pm_sdwan::{Programmability, SdWanBuilder};
+use pm_bench::SweepEngine;
+use pm_sdwan::SdWanBuilder;
 
 fn main() {
     let opts = EvalOptions::from_args();
-    if opts.skip_optimal {
-        eprintln!("fig7 compares against Optimal; --skip-optimal is not applicable");
-        std::process::exit(2);
-    }
     let net = SdWanBuilder::att_paper_setup()
         .build()
         .expect("paper setup builds");
-    let prog = Programmability::compute(&net);
+    let engine = SweepEngine::new(&net, opts.clone());
+
+    if opts.skip_optimal {
+        heuristic_timing(&engine, &opts);
+        return;
+    }
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for k in 1..=3 {
+        let cases = engine.sweep(k);
         let mut ratios = Vec::new();
-        for failed in combinations(net.controllers().len(), k) {
-            let case = run_case(&net, &prog, &failed, &opts);
+        for case in &cases {
             let pm = case.run("PM").expect("PM always runs");
             let optimal = case.run("Optimal").expect("Optimal requested");
             let ratio = pm.elapsed.as_secs_f64() / optimal.elapsed.as_secs_f64().max(1e-9);
@@ -55,7 +62,8 @@ fn main() {
         )
     );
     println!(
-        "\n(the paper reports 2.54%, 1.77% and 2.18% on average; Optimal runs under a {:?} budget)",
+        "\n(the paper reports 2.54%, 1.77% and 2.18% on average; Optimal runs under a {:?} budget; \
+         use --jobs 1 for uncontended measurements)",
         opts.optimal_time_limit
     );
     if let Some(dir) = &opts.csv_dir {
@@ -71,5 +79,36 @@ fn main() {
             ],
             &csv_rows,
         );
+    }
+}
+
+/// The `--skip-optimal` mode: absolute heuristic timing over all 41 cases.
+fn heuristic_timing(engine: &SweepEngine<'_>, opts: &EvalOptions) {
+    let mut rows = Vec::new();
+    let mut all_cases = Vec::new();
+    for k in 1..=3 {
+        let cases = engine.sweep(k);
+        for stat in timing_rows(&cases) {
+            let mut row = vec![format!("{k} failure(s)")];
+            row.extend(stat);
+            rows.push(row);
+        }
+        all_cases.extend(cases);
+    }
+    println!(
+        "fig7 --skip-optimal — heuristic computation time per case \
+         ({} thread(s); wall clock)\n",
+        opts.jobs
+    );
+    let mut headers = vec!["scenario"];
+    headers.extend(TIMING_HEADERS);
+    print!("{}", render_table(&headers, &rows));
+    println!("\noverall (all {} cases):", all_cases.len());
+    print!(
+        "{}",
+        render_table(&TIMING_HEADERS, &timing_rows(&all_cases))
+    );
+    if let Some(dir) = &opts.csv_dir {
+        write_csv(dir, "fig7_timing", &headers, &rows);
     }
 }

@@ -12,17 +12,20 @@
 //!
 //! Run: `cargo run --release -p pm-bench --bin reroute_drill`
 
+use pm_bench::{EvalOptions, SweepEngine};
 use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, Rerouter, RetroFlow};
-use pm_sdwan::{ControllerId, Programmability, SdWanBuilder, SwitchId};
+use pm_sdwan::{ControllerId, SdWanBuilder, SwitchId};
 
 fn main() {
+    let opts = EvalOptions::from_args();
     let net = SdWanBuilder::att_paper_setup()
         .build()
         .expect("paper setup builds");
-    let prog = Programmability::compute(&net);
+    let engine = SweepEngine::new(&net, opts);
+    let prog = engine.programmability();
     let failed = [ControllerId(3), ControllerId(4)];
-    let scenario = net.fail(&failed).expect("valid failure");
-    let inst = FmssmInstance::new(&scenario, &prog);
+    let scenario = engine.scenario(&failed).expect("valid failure");
+    let inst = FmssmInstance::with_cache(&scenario, prog, engine.cache());
 
     // The most-loaded link by flow count.
     let mut best: Option<(SwitchId, SwitchId, usize)> = None;
@@ -69,7 +72,7 @@ fn main() {
         &Pg::new(),
     ] {
         let plan = algo.recover(&inst).expect("plan");
-        let mut rr = Rerouter::new(&scenario, &prog, &plan);
+        let mut rr = Rerouter::new(&scenario, prog, &plan);
         let mut moved = 0usize;
         let mut detour_sum = 0.0;
         for &l in &crossing {
@@ -126,7 +129,7 @@ fn main() {
     ] {
         let plan = algo.recover(&inst).expect("plan");
         let report =
-            pm_core::relieve_hotspots(&scenario, &prog, &plan, &tm, capacity, 32).expect("traffic");
+            pm_core::relieve_hotspots(&scenario, prog, &plan, &tm, capacity, 32).expect("traffic");
         println!(
             "{:<10} {:>11.1}% {:>11.1}% {:>7.1}% {:>7}",
             algo.name(),

@@ -13,76 +13,101 @@
 //!   selection a FlowMod: churn is control-plane cost and forwarding risk);
 //! * **quality** — total programmability of the final plan.
 //!
-//! Run: `cargo run --release -p pm-bench --bin successive_drill`
+//! Sequences are independent, so they run in parallel across the worker
+//! pool (`--jobs N`) and merge back in order.
+//!
+//! Run: `cargo run --release -p pm-bench --bin successive_drill [--jobs N]`
 
+use pm_bench::par::par_map;
 use pm_bench::report::render_table;
+use pm_bench::{EvalOptions, SweepEngine};
 use pm_core::{FmssmInstance, Pm, RecoveryAlgorithm, SuccessiveRecovery};
-use pm_sdwan::{ControllerId, PlanMetrics, Programmability, RecoveryPlan, SdWanBuilder};
+use pm_sdwan::{ControllerId, PlanMetrics, RecoveryPlan, SdWanBuilder};
 
 /// Number of decisions in `b` that are new or changed relative to `a`.
 fn churn(a: &RecoveryPlan, b: &RecoveryPlan) -> usize {
     b.difference(a).sdn_count() + b.difference(a).mappings().count()
 }
 
+/// One ordered failure sequence's outcome.
+struct Sequence {
+    label: String,
+    inc_churn: usize,
+    scr_churn: usize,
+    inc_total: u64,
+    scr_total: u64,
+}
+
 fn main() {
+    let opts = EvalOptions::from_args();
     let net = SdWanBuilder::att_paper_setup()
         .build()
         .expect("paper setup builds");
-    let prog = Programmability::compute(&net);
+    let engine = SweepEngine::new(&net, opts.clone());
     let m = net.controllers().len();
+
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .flat_map(|first| (0..m).filter(move |&s| s != first).map(move |s| (first, s)))
+        .collect();
+
+    let sequences = par_map(&pairs, opts.jobs, |_, &(first, second)| {
+        let prog = engine.programmability();
+        let (c1, c2) = (ControllerId(first), ControllerId(second));
+
+        // Incremental: recover c1, then extend for c2.
+        let mut rec = SuccessiveRecovery::new();
+        rec.on_failure(&net, prog, &[c1]).expect("step 1");
+        let step1 = rec.plan().clone();
+        rec.on_failure(&net, prog, &[c2]).expect("step 2");
+        let inc_final = rec.plan().clone();
+        let inc_churn = churn(&step1, &inc_final);
+
+        // From scratch at each step.
+        let sc1 = engine.scenario(&[c1]).expect("valid");
+        let scratch1 = Pm::new()
+            .recover(&FmssmInstance::with_cache(&sc1, prog, engine.cache()))
+            .expect("pm step 1");
+        let sc2 = engine.scenario(&[c1, c2]).expect("valid");
+        let scratch2 = Pm::new()
+            .recover(&FmssmInstance::with_cache(&sc2, prog, engine.cache()))
+            .expect("pm step 2");
+        let scr_churn = churn(&scratch1, &scratch2);
+
+        let m_inc = PlanMetrics::compute(&sc2, prog, &inc_final, 0.0);
+        let m_scr = PlanMetrics::compute(&sc2, prog, &scratch2, 0.0);
+
+        Sequence {
+            label: format!(
+                "{} then {}",
+                net.controllers()[first].node.index(),
+                net.controllers()[second].node.index()
+            ),
+            inc_churn,
+            scr_churn,
+            inc_total: m_inc.total_programmability,
+            scr_total: m_scr.total_programmability,
+        }
+    });
 
     let mut rows = Vec::new();
     let mut inc_total_sum = 0u64;
     let mut scr_total_sum = 0u64;
     let mut inc_churn_sum = 0usize;
     let mut scr_churn_sum = 0usize;
-    for first in 0..m {
-        for second in 0..m {
-            if first == second {
-                continue;
-            }
-            let (c1, c2) = (ControllerId(first), ControllerId(second));
-
-            // Incremental: recover c1, then extend for c2.
-            let mut rec = SuccessiveRecovery::new();
-            rec.on_failure(&net, &prog, &[c1]).expect("step 1");
-            let step1 = rec.plan().clone();
-            rec.on_failure(&net, &prog, &[c2]).expect("step 2");
-            let inc_final = rec.plan().clone();
-            let inc_churn = churn(&step1, &inc_final);
-
-            // From scratch at each step.
-            let sc1 = net.fail(&[c1]).expect("valid");
-            let scratch1 = Pm::new()
-                .recover(&FmssmInstance::new(&sc1, &prog))
-                .expect("pm step 1");
-            let sc2 = net.fail(&[c1, c2]).expect("valid");
-            let scratch2 = Pm::new()
-                .recover(&FmssmInstance::new(&sc2, &prog))
-                .expect("pm step 2");
-            let scr_churn = churn(&scratch1, &scratch2);
-
-            let m_inc = PlanMetrics::compute(&sc2, &prog, &inc_final, 0.0);
-            let m_scr = PlanMetrics::compute(&sc2, &prog, &scratch2, 0.0);
-            inc_total_sum += m_inc.total_programmability;
-            scr_total_sum += m_scr.total_programmability;
-            inc_churn_sum += inc_churn;
-            scr_churn_sum += scr_churn;
-
-            let label = format!(
-                "{} then {}",
-                net.controllers()[first].node.index(),
-                net.controllers()[second].node.index()
-            );
-            rows.push(vec![
-                label,
-                inc_churn.to_string(),
-                scr_churn.to_string(),
-                m_inc.total_programmability.to_string(),
-                m_scr.total_programmability.to_string(),
-            ]);
-        }
+    for seq in &sequences {
+        inc_total_sum += seq.inc_total;
+        scr_total_sum += seq.scr_total;
+        inc_churn_sum += seq.inc_churn;
+        scr_churn_sum += seq.scr_churn;
+        rows.push(vec![
+            seq.label.clone(),
+            seq.inc_churn.to_string(),
+            seq.scr_churn.to_string(),
+            seq.inc_total.to_string(),
+            seq.scr_total.to_string(),
+        ]);
     }
+
     println!("successive failures: incremental (stable) vs from-scratch recovery\n");
     print!(
         "{}",

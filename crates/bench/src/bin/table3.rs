@@ -5,7 +5,7 @@
 //! Run: `cargo run -p pm-bench --bin table3 [--csv DIR]`
 
 use pm_bench::report::{render_table, write_csv};
-use pm_bench::EvalOptions;
+use pm_bench::{EvalOptions, SweepEngine};
 use pm_sdwan::{ControllerId, SdWanBuilder};
 use pm_topo::att::PAPER_FLOW_COUNTS;
 
@@ -14,6 +14,8 @@ fn main() {
     let net = SdWanBuilder::att_paper_setup()
         .build()
         .expect("paper setup builds");
+    let engine = SweepEngine::new(&net, opts.clone());
+    let cache = engine.cache();
 
     println!("Table III: controllers, switches, and per-switch flow counts (ATT topology)");
     println!("(\"ours\" = derived from the embedded ATT-like backbone; \"paper\" = Table III)\n");
@@ -41,9 +43,9 @@ fn main() {
         let node = net.controllers()[c].node.index();
         load_rows.push(vec![
             format!("C{node}"),
-            net.controller_load(cid).to_string(),
+            cache.controller_load(cid).to_string(),
             net.controllers()[c].capacity.to_string(),
-            net.residual_capacity(cid).to_string(),
+            cache.residual_capacity(cid).to_string(),
         ]);
     }
     print!(

@@ -1,39 +1,31 @@
 //! Shared driver for the Fig. 4 / Fig. 5 / Fig. 6 binaries: run every
-//! k-failure combination and print one table per panel.
+//! k-failure combination through the [`SweepEngine`] and print one table
+//! per panel, plus per-case computation-time statistics.
 
-use crate::harness::{run_case, CaseResult, EvalOptions};
+use crate::harness::{CaseResult, EvalOptions};
+use crate::par::{timing_stats, SweepEngine};
 use crate::report::{box_summary, pct, render_table, write_csv};
-use crate::sweep::combinations;
-use pm_sdwan::{Programmability, SdWanBuilder};
+use pm_sdwan::SdWanBuilder;
+use std::fmt::Write as _;
 
 /// Algorithm column order for every panel.
 const ALGOS: [&str; 4] = ["RetroFlow", "PM", "PG", "Optimal"];
 
-/// Runs all `k`-controller-failure cases and prints the paper's panels.
-///
-/// `fig_name` tags the output ("fig4" …); `switch_panels` adds the
-/// recovered-switch and controller-resource panels that Figs. 5 and 6 have
-/// but Fig. 4 does not.
-pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &EvalOptions) {
-    let net = SdWanBuilder::att_paper_setup()
-        .build()
-        .expect("paper setup builds");
-    let prog = Programmability::compute(&net);
-    let cases: Vec<CaseResult> = combinations(net.controllers().len(), k)
-        .iter()
-        .map(|failed| {
-            eprintln!(
-                "running case {}...",
-                crate::harness::case_label(&net, failed)
-            );
-            run_case(&net, &prog, failed, opts)
-        })
-        .collect();
+/// One titled metric table of a figure.
+pub type Panel = (String, Vec<Vec<String>>);
 
-    let algo_cols: Vec<&str> = if opts.skip_optimal {
-        ALGOS[..3].to_vec()
-    } else {
+/// Builds the per-panel metric tables of a failure figure from finished
+/// cases. Everything here derives from plan metrics — no wall-clock
+/// numbers — so the output is identical however the cases were scheduled.
+pub fn build_panels(
+    cases: &[CaseResult],
+    include_optimal: bool,
+    switch_panels: bool,
+) -> (Vec<String>, Vec<Panel>) {
+    let algo_cols: Vec<&str> = if include_optimal {
         ALGOS.to_vec()
+    } else {
+        ALGOS[..3].to_vec()
     };
 
     // A cell for (case, algo) or "-" when the algorithm has no result (the
@@ -52,23 +44,19 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
         }
     };
 
-    let panel =
-        |title: &str, f: &dyn Fn(&crate::AlgoRun) -> String| -> (String, Vec<Vec<String>>) {
-            let mut rows = Vec::new();
-            for case in &cases {
-                let mut row = vec![case.label.clone()];
-                for algo in &algo_cols {
-                    row.push(cell(case, algo, f));
-                }
-                rows.push(row);
+    let panel = |title: &str, f: &dyn Fn(&crate::AlgoRun) -> String| -> Panel {
+        let mut rows = Vec::new();
+        for case in cases {
+            let mut row = vec![case.label.clone()];
+            for algo in &algo_cols {
+                row.push(cell(case, algo, f));
             }
-            (title.to_string(), rows)
-        };
+            rows.push(row);
+        }
+        (title.to_string(), rows)
+    };
 
-    let mut headers: Vec<&str> = vec!["case"];
-    headers.extend(algo_cols.iter());
-
-    let mut panels: Vec<(String, Vec<Vec<String>>)> = Vec::new();
+    let mut panels: Vec<Panel> = Vec::new();
     panels.push(panel(
         "(a) path programmability of recovered flows over recoverable offline flows \
          (min/q1/median/q3/max; higher better)",
@@ -78,7 +66,7 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
     // Panel (b): total programmability normalized to RetroFlow.
     {
         let mut rows = Vec::new();
-        for case in &cases {
+        for case in cases {
             let retro = case
                 .run("RetroFlow")
                 .map(|r| r.metrics.total_programmability)
@@ -136,7 +124,27 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
         &|r| format!("{:.3}", r.metrics.per_flow_overhead_ms()),
     ));
 
-    println!(
+    let mut headers: Vec<String> = vec!["case".into()];
+    headers.extend(algo_cols.iter().map(|s| s.to_string()));
+    (headers, panels)
+}
+
+/// Renders the complete metric report of a failure figure (header line,
+/// panels, headline). Byte-identical across runs and `--jobs` values as
+/// long as the algorithms themselves are deterministic — wall-clock
+/// statistics live in [`timing_report`] instead.
+pub fn metrics_report(
+    cases: &[CaseResult],
+    k: usize,
+    fig_name: &str,
+    switch_panels: bool,
+    opts: &EvalOptions,
+) -> String {
+    let (headers, panels) = build_panels(cases, !opts.skip_optimal, switch_panels);
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "{} — {} controller failure(s), {} case(s){}",
         fig_name,
         k,
@@ -152,26 +160,19 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
             .iter()
             .filter(|c| c.run("Optimal").and_then(|r| r.proved_optimal) == Some(true))
             .count();
-        println!(
+        let _ = writeln!(
+            out,
             "Optimal proved optimality in {proved} of {} cases within {:?} \
              (bracketed [values] are best-effort incumbents)",
             cases.len(),
             opts.optimal_time_limit
         );
     }
-    println!();
-    for (i, (title, rows)) in panels.iter().enumerate() {
-        println!("{title}");
-        print!("{}", render_table(&headers, rows));
-        println!();
-        if let Some(dir) = &opts.csv_dir {
-            write_csv(
-                dir,
-                &format!("{fig_name}_panel{}", (b'a' + i as u8) as char),
-                &headers,
-                rows,
-            );
-        }
+    out.push('\n');
+    for (title, rows) in &panels {
+        let _ = writeln!(out, "{title}");
+        out.push_str(&render_table(&header_refs, rows));
+        out.push('\n');
     }
 
     // Headline number: the best PM-vs-RetroFlow total-programmability gain.
@@ -187,9 +188,130 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
         })
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
     {
-        println!(
+        let _ = writeln!(
+            out,
             "headline: PM's best total-programmability gain over RetroFlow is {} in case {label}",
             pct(gain)
         );
+    }
+    out
+}
+
+/// Renders per-case computation-time statistics (mean / p95 / max per
+/// algorithm). These are wall-clock measurements: they vary run to run
+/// and contend for cores at `--jobs` above 1.
+pub fn timing_report(cases: &[CaseResult]) -> String {
+    let rows = timing_rows(cases);
+    let mut out = String::new();
+    out.push_str("\nper-case computation time (wall clock; varies run to run)\n");
+    out.push_str(&render_table(&TIMING_HEADERS, &rows));
+    out
+}
+
+/// Column headers of the timing table / CSV.
+pub const TIMING_HEADERS: [&str; 5] = ["algorithm", "mean_ms", "p95_ms", "max_ms", "cases"];
+
+/// The timing table rows (shared by the text report and the CSV file).
+pub fn timing_rows(cases: &[CaseResult]) -> Vec<Vec<String>> {
+    timing_stats(cases)
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.algorithm.to_string(),
+                format!("{:.3}", s.mean.as_secs_f64() * 1e3),
+                format!("{:.3}", s.p95.as_secs_f64() * 1e3),
+                format!("{:.3}", s.max.as_secs_f64() * 1e3),
+                s.cases.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Runs all `k`-controller-failure cases and prints the paper's panels.
+///
+/// `fig_name` tags the output ("fig4" …); `switch_panels` adds the
+/// recovered-switch and controller-resource panels that Figs. 5 and 6 have
+/// but Fig. 4 does not.
+pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &EvalOptions) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let engine = SweepEngine::new(&net, opts.clone());
+    let case_count = crate::sweep::combinations(net.controllers().len(), k).len();
+    eprintln!(
+        "{fig_name}: running {case_count} case(s) on {} thread(s)...",
+        opts.jobs
+    );
+    let cases = engine.sweep(k);
+
+    print!(
+        "{}",
+        metrics_report(&cases, k, fig_name, switch_panels, opts)
+    );
+    print!("{}", timing_report(&cases));
+
+    if let Some(dir) = &opts.csv_dir {
+        let (headers, panels) = build_panels(&cases, !opts.skip_optimal, switch_panels);
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        for (i, (_, rows)) in panels.iter().enumerate() {
+            write_csv(
+                dir,
+                &format!("{fig_name}_panel{}", (b'a' + i as u8) as char),
+                &header_refs,
+                rows,
+            );
+        }
+        write_csv(
+            dir,
+            &format!("{fig_name}_timing"),
+            &TIMING_HEADERS,
+            &timing_rows(&cases),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_sdwan::SdWanBuilder;
+
+    fn quick_cases(jobs: usize) -> Vec<CaseResult> {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let opts = EvalOptions {
+            skip_optimal: true,
+            jobs,
+            ..Default::default()
+        };
+        SweepEngine::new(&net, opts).sweep(1)
+    }
+
+    #[test]
+    fn metrics_report_is_schedule_independent() {
+        let opts = EvalOptions {
+            skip_optimal: true,
+            ..Default::default()
+        };
+        let serial = metrics_report(&quick_cases(1), 1, "fig4", false, &opts);
+        let parallel = metrics_report(&quick_cases(8), 1, "fig4", false, &opts);
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("fig4 — 1 controller failure(s), 6 case(s), Optimal skipped"));
+    }
+
+    #[test]
+    fn panels_have_one_row_per_case() {
+        let cases = quick_cases(2);
+        let (headers, panels) = build_panels(&cases, false, true);
+        assert_eq!(headers, vec!["case", "RetroFlow", "PM", "PG"]);
+        assert_eq!(panels.len(), 6);
+        for (_, rows) in &panels {
+            assert_eq!(rows.len(), cases.len());
+        }
+    }
+
+    #[test]
+    fn timing_rows_cover_all_heuristics() {
+        let rows = timing_rows(&quick_cases(2));
+        let names: Vec<&str> = rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(names, vec!["RetroFlow", "PM", "PG"]);
     }
 }

@@ -1,7 +1,7 @@
 //! Runs the four algorithms on failure cases and collects metrics.
 
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow};
-use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWan};
+use pm_sdwan::{ControllerId, FailureScenario, PlanMetrics, Programmability, SdWan};
 use std::time::{Duration, Instant};
 
 /// Evaluation options shared by the figure binaries, parsed from the
@@ -15,6 +15,10 @@ pub struct EvalOptions {
     pub skip_optimal: bool,
     /// Directory to write per-figure CSV files into (`--csv DIR`).
     pub csv_dir: Option<std::path::PathBuf>,
+    /// Worker threads for the failure sweep (`--jobs N`, default: all
+    /// cores). Metric output is identical for every value; per-case
+    /// wall-clock measurements contend for cores at higher counts.
+    pub jobs: usize,
 }
 
 impl Default for EvalOptions {
@@ -23,6 +27,7 @@ impl Default for EvalOptions {
             optimal_time_limit: Duration::from_secs(20),
             skip_optimal: false,
             csv_dir: None,
+            jobs: crate::par::default_jobs(),
         }
     }
 }
@@ -43,6 +48,17 @@ impl EvalOptions {
                     opts.optimal_time_limit = Duration::from_secs(v);
                 }
                 "--skip-optimal" => opts.skip_optimal = true,
+                "--jobs" => {
+                    let v: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer argument");
+                        std::process::exit(2);
+                    });
+                    if v == 0 {
+                        eprintln!("--jobs needs a positive integer argument");
+                        std::process::exit(2);
+                    }
+                    opts.jobs = v;
+                }
                 "--csv" => {
                     let dir = args.next().unwrap_or_else(|| {
                         eprintln!("--csv needs a directory argument");
@@ -52,7 +68,7 @@ impl EvalOptions {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: [--opt-secs N] [--skip-optimal] [--csv DIR]\n\
+                        "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
                          regenerates one of the paper's evaluation artifacts"
                     );
                     std::process::exit(0);
@@ -128,6 +144,21 @@ pub fn run_case(
 ) -> CaseResult {
     let scenario = net.fail(failed).expect("valid failure case");
     let inst = FmssmInstance::new(&scenario, prog);
+    CaseResult {
+        failed: failed.to_vec(),
+        label: case_label(net, failed),
+        runs: run_algorithms(&scenario, prog, &inst, opts),
+    }
+}
+
+/// Times and validates each algorithm on an already-built instance; shared
+/// by [`run_case`] and the parallel [`crate::SweepEngine`].
+pub(crate) fn run_algorithms(
+    scenario: &FailureScenario<'_>,
+    prog: &Programmability,
+    inst: &FmssmInstance<'_, '_>,
+    opts: &EvalOptions,
+) -> Vec<AlgoRun> {
     let mut runs = Vec::new();
 
     let heuristics: Vec<Box<dyn RecoveryAlgorithm>> = vec![
@@ -138,13 +169,13 @@ pub fn run_case(
     for algo in &heuristics {
         let start = Instant::now();
         let plan = algo
-            .recover(&inst)
+            .recover(inst)
             .expect("heuristics always produce a plan");
         let elapsed = start.elapsed();
-        plan.validate(&scenario, prog, algo.is_flow_level())
+        plan.validate(scenario, prog, algo.is_flow_level())
             .expect("plan must be valid");
-        let metrics = PlanMetrics::compute(&scenario, prog, &plan, algo.middle_layer_ms());
-        let total_delay = plan.total_control_delay(&scenario);
+        let metrics = PlanMetrics::compute(scenario, prog, &plan, algo.middle_layer_ms());
+        let total_delay = plan.total_control_delay(scenario);
         runs.push(AlgoRun {
             name: algo.name(),
             metrics,
@@ -157,13 +188,13 @@ pub fn run_case(
     if !opts.skip_optimal {
         let solver = Optimal::new().time_limit(opts.optimal_time_limit);
         let out = solver
-            .solve_detailed(&inst)
+            .solve_detailed(inst)
             .expect("warm start guarantees an incumbent");
         out.plan
-            .validate(&scenario, prog, false)
+            .validate(scenario, prog, false)
             .expect("optimal plan must be valid");
-        let metrics = PlanMetrics::compute(&scenario, prog, &out.plan, 0.0);
-        let total_delay = out.plan.total_control_delay(&scenario);
+        let metrics = PlanMetrics::compute(scenario, prog, &out.plan, 0.0);
+        let total_delay = out.plan.total_control_delay(scenario);
         runs.push(AlgoRun {
             name: "Optimal",
             metrics,
@@ -173,11 +204,7 @@ pub fn run_case(
         });
     }
 
-    CaseResult {
-        failed: failed.to_vec(),
-        label: case_label(net, failed),
-        runs,
-    }
+    runs
 }
 
 #[cfg(test)]

@@ -20,8 +20,10 @@
 
 pub mod figures;
 pub mod harness;
+pub mod par;
 pub mod report;
 pub mod sweep;
 
 pub use harness::{AlgoRun, CaseResult, EvalOptions};
+pub use par::{par_map, timing_stats, SweepEngine, TimingStats};
 pub use sweep::combinations;

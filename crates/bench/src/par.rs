@@ -1,0 +1,290 @@
+//! Deterministic parallel failure sweeps.
+//!
+//! [`SweepEngine`] runs every failure case of a sweep across a scoped
+//! worker pool (`--jobs N`, default: all cores) and merges the per-case
+//! results in the lexicographic order of the case list — the order
+//! [`combinations`] enumerates — regardless of which worker finishes
+//! first. Each case reuses the engine's [`NetCache`] (shortest-path trees,
+//! path counts, programmability, controller loads, delay orders), so a
+//! case costs only the algorithms themselves. Metric output is therefore
+//! byte-identical between `--jobs 1` and any other thread count; only the
+//! wall-clock statistics vary run to run.
+
+use crate::harness::{case_label, run_algorithms, CaseResult, EvalOptions};
+use crate::sweep::combinations;
+use pm_core::FmssmInstance;
+use pm_sdwan::{ControllerId, FailureScenario, NetCache, Programmability, SdWan, SdwanError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads and
+/// returns the results in **input order**, whatever the completion order.
+///
+/// Work is handed out through an atomic index, so long and short items mix
+/// freely across workers. With `jobs <= 1` (or a single item) everything
+/// runs on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated when the
+/// worker scope joins).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots.lock().expect("no poisoned worker")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Runs failure sweeps against one network, in parallel, with every
+/// per-network quantity precomputed once.
+///
+/// # Example
+///
+/// ```
+/// use pm_bench::{EvalOptions, SweepEngine};
+/// use pm_sdwan::SdWanBuilder;
+///
+/// let net = SdWanBuilder::att_paper_setup().build()?;
+/// let opts = EvalOptions { skip_optimal: true, ..Default::default() };
+/// let engine = SweepEngine::new(&net, opts);
+/// let cases = engine.sweep(1); // all 6 single-failure cases, in order
+/// assert_eq!(cases.len(), 6);
+/// assert_eq!(cases[0].label, "(2)");
+/// # Ok::<(), pm_sdwan::SdwanError>(())
+/// ```
+#[derive(Debug)]
+pub struct SweepEngine<'net> {
+    net: &'net SdWan,
+    cache: NetCache,
+    opts: EvalOptions,
+}
+
+impl<'net> SweepEngine<'net> {
+    /// Precomputes the [`NetCache`] of `net` and readies a pool of
+    /// `opts.jobs` workers (created per sweep; no threads idle between
+    /// calls).
+    pub fn new(net: &'net SdWan, opts: EvalOptions) -> Self {
+        let cache = NetCache::build(net);
+        cache.topo().warm();
+        SweepEngine { net, cache, opts }
+    }
+
+    /// The network under evaluation.
+    pub fn network(&self) -> &'net SdWan {
+        self.net
+    }
+
+    /// The per-network cache shared by all cases.
+    pub fn cache(&self) -> &NetCache {
+        &self.cache
+    }
+
+    /// The cached programmability table.
+    pub fn programmability(&self) -> &Programmability {
+        self.cache.programmability()
+    }
+
+    /// The evaluation options this engine runs with.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Builds the failure scenario for `failed` from cached state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SdWan::fail`].
+    pub fn scenario(&self, failed: &[ControllerId]) -> Result<FailureScenario<'net>, SdwanError> {
+        self.net.fail_cached(failed, &self.cache)
+    }
+
+    /// Runs all algorithms on one failure case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case is invalid or an algorithm produces an invalid
+    /// plan — both indicate bugs, not data errors.
+    pub fn run_case(&self, failed: &[ControllerId]) -> CaseResult {
+        let scenario = self.scenario(failed).expect("valid failure case");
+        let inst = FmssmInstance::with_cache(&scenario, self.cache.programmability(), &self.cache);
+        let runs = run_algorithms(&scenario, self.cache.programmability(), &inst, &self.opts);
+        CaseResult {
+            failed: failed.to_vec(),
+            label: case_label(self.net, failed),
+            runs,
+        }
+    }
+
+    /// Runs the given cases across the worker pool; results come back in
+    /// the order of `cases`, independent of completion order.
+    pub fn run_cases(&self, cases: &[Vec<ControllerId>]) -> Vec<CaseResult> {
+        par_map(cases, self.opts.jobs, |_, failed| self.run_case(failed))
+    }
+
+    /// Runs every `k`-controller-failure case, in lexicographic order.
+    pub fn sweep(&self, k: usize) -> Vec<CaseResult> {
+        self.run_cases(&combinations(self.net.controllers().len(), k))
+    }
+}
+
+/// Wall-clock statistics of one algorithm across a sweep's cases.
+#[derive(Debug, Clone)]
+pub struct TimingStats {
+    /// Algorithm display name.
+    pub algorithm: &'static str,
+    /// Number of cases the algorithm ran in.
+    pub cases: usize,
+    /// Mean per-case computation time.
+    pub mean: Duration,
+    /// 95th-percentile per-case computation time (nearest-rank).
+    pub p95: Duration,
+    /// Worst per-case computation time.
+    pub max: Duration,
+}
+
+/// Per-algorithm timing statistics over a list of cases, in the
+/// algorithms' first-seen order.
+pub fn timing_stats(cases: &[CaseResult]) -> Vec<TimingStats> {
+    let mut order: Vec<&'static str> = Vec::new();
+    for case in cases {
+        for run in &case.runs {
+            if !order.contains(&run.name) {
+                order.push(run.name);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let mut times: Vec<Duration> = cases
+                .iter()
+                .filter_map(|c| c.run(name))
+                .map(|r| r.elapsed)
+                .collect();
+            times.sort();
+            let n = times.len();
+            let total: Duration = times.iter().sum();
+            // Nearest-rank p95: the ceil(0.95 n)-th smallest value.
+            let rank = (n * 95).div_ceil(100).max(1);
+            TimingStats {
+                algorithm: name,
+                cases: n,
+                mean: total / n as u32,
+                p95: times[rank - 1],
+                max: *times.last().expect("at least one case"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_sdwan::SdWanBuilder;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..57).collect();
+        // Uneven per-item cost so completion order differs from input order.
+        let f = |i: usize, &x: &usize| {
+            if x % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (i, x * x)
+        };
+        let serial = par_map(&items, 1, f);
+        let parallel = par_map(&items, 8, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[10], (10, 100));
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 4, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn engine_matches_serial_harness() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let opts = EvalOptions {
+            skip_optimal: true,
+            jobs: 4,
+            ..Default::default()
+        };
+        let engine = SweepEngine::new(&net, opts.clone());
+        let prog = Programmability::compute(&net);
+        for case in engine.sweep(1) {
+            let serial = crate::harness::run_case(&net, &prog, &case.failed, &opts);
+            assert_eq!(case.label, serial.label);
+            assert_eq!(case.runs.len(), serial.runs.len());
+            for (a, b) in case.runs.iter().zip(&serial.runs) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    a.metrics.per_flow_programmability,
+                    b.metrics.per_flow_programmability
+                );
+                assert_eq!(
+                    a.metrics.total_programmability,
+                    b.metrics.total_programmability
+                );
+                assert_eq!(a.metrics.recovered_flows, b.metrics.recovered_flows);
+                assert!((a.total_delay - b.total_delay).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn timing_stats_shape() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let opts = EvalOptions {
+            skip_optimal: true,
+            jobs: 2,
+            ..Default::default()
+        };
+        let engine = SweepEngine::new(&net, opts);
+        let cases = engine.sweep(1);
+        let stats = timing_stats(&cases);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].algorithm, "RetroFlow");
+        for s in &stats {
+            assert_eq!(s.cases, cases.len());
+            assert!(s.mean <= s.max);
+            assert!(s.p95 <= s.max);
+        }
+    }
+}

@@ -20,8 +20,8 @@
 
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow, TwoStage};
 use pm_sdwan::{
-    place_controllers, ControllerId, PlacementStrategy, PlanMetrics, Programmability, RecoveryPlan,
-    SdWan, SdWanBuilder,
+    place_controllers, ControllerId, NetCache, PlacementStrategy, PlanMetrics, Programmability,
+    RecoveryPlan, SdWan, SdWanBuilder,
 };
 use pm_simctl::{RecoveryTiming, SimTime, Simulation};
 use std::io::Write;
@@ -361,11 +361,12 @@ fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     ensure_consumed(&args)?;
 
     let algo = make_algo(&algo_name, opt_secs)?;
-    let prog = Programmability::compute(&net);
+    let cache = NetCache::build(&net);
+    let prog: &Programmability = cache.programmability();
     let scenario = net
-        .fail(&failed)
+        .fail_cached(&failed, &cache)
         .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
-    let inst = FmssmInstance::new(&scenario, &prog);
+    let inst = FmssmInstance::with_cache(&scenario, prog, &cache);
     if let Some(path) = lp_file {
         let lp = Optimal::new().export_lp(&inst);
         std::fs::write(&path, lp)
@@ -375,9 +376,9 @@ fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let plan = algo
         .recover(&inst)
         .map_err(|e| CliError::runtime(format!("{} failed: {e}", algo.name())))?;
-    plan.validate(&scenario, &prog, algo.is_flow_level())
+    plan.validate(&scenario, prog, algo.is_flow_level())
         .map_err(|e| CliError::runtime(format!("produced plan invalid: {e}")))?;
-    let metrics = PlanMetrics::compute(&scenario, &prog, &plan, algo.middle_layer_ms());
+    let metrics = PlanMetrics::compute(&scenario, prog, &plan, algo.middle_layer_ms());
     let _ = writeln!(out, "algorithm: {}", algo.name());
     print_metrics(out, &metrics);
     match out_file {
@@ -407,15 +408,16 @@ fn cmd_check(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| CliError::runtime(format!("cannot read {plan_file}: {e}")))?;
     let plan = RecoveryPlan::from_text(&text)
         .map_err(|e| CliError::runtime(format!("cannot parse {plan_file}: {e}")))?;
-    let prog = Programmability::compute(&net);
+    let cache = NetCache::build(&net);
+    let prog: &Programmability = cache.programmability();
     let scenario = net
-        .fail(&failed)
+        .fail_cached(&failed, &cache)
         .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
     // Accept flow-level plans: a switch-level plan also passes that check.
-    match plan.validate(&scenario, &prog, true) {
+    match plan.validate(&scenario, prog, true) {
         Ok(()) => {
             let _ = writeln!(out, "plan is FEASIBLE for failure of {failed:?}");
-            let metrics = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+            let metrics = PlanMetrics::compute(&scenario, prog, &plan, 0.0);
             print_metrics(out, &metrics);
             Ok(())
         }
@@ -431,11 +433,12 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opt_secs = parse_opt_secs(&mut args)?;
     ensure_consumed(&args)?;
 
-    let prog = Programmability::compute(&net);
+    let cache = NetCache::build(&net);
+    let prog: &Programmability = cache.programmability();
     let scenario = net
-        .fail(&failed)
+        .fail_cached(&failed, &cache)
         .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
-    let inst = FmssmInstance::new(&scenario, &prog);
+    let inst = FmssmInstance::with_cache(&scenario, prog, &cache);
     let _ = writeln!(
         out,
         "{:<10} {:>9} {:>9} {:>7} {:>9} {:>12}",
@@ -446,7 +449,7 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let plan = algo
             .recover(&inst)
             .map_err(|e| CliError::runtime(format!("{name} failed: {e}")))?;
-        let m = PlanMetrics::compute(&scenario, &prog, &plan, algo.middle_layer_ms());
+        let m = PlanMetrics::compute(&scenario, prog, &plan, algo.middle_layer_ms());
         let _ = writeln!(
             out,
             "{:<10} {:>9} {:>9} {:>7} {:>9} {:>12.3}",
@@ -472,11 +475,12 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     ensure_consumed(&args)?;
 
     let algo = make_algo(&algo_name, opt_secs)?;
-    let prog = Programmability::compute(&net);
+    let cache = NetCache::build(&net);
+    let prog: &Programmability = cache.programmability();
     let scenario = net
-        .fail(&failed)
+        .fail_cached(&failed, &cache)
         .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
-    let inst = FmssmInstance::new(&scenario, &prog);
+    let inst = FmssmInstance::with_cache(&scenario, prog, &cache);
     let plan = algo
         .recover(&inst)
         .map_err(|e| CliError::runtime(format!("{} failed: {e}", algo.name())))?;
@@ -542,11 +546,12 @@ fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let failed = parse_failures(&net, &mut args)?;
     ensure_consumed(&args)?;
 
-    let prog = Programmability::compute(&net);
+    let cache = NetCache::build(&net);
+    let prog: &Programmability = cache.programmability();
     let scenario = net
-        .fail(&failed)
+        .fail_cached(&failed, &cache)
         .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
-    let inst = FmssmInstance::new(&scenario, &prog);
+    let inst = FmssmInstance::with_cache(&scenario, prog, &cache);
     let _ = writeln!(
         out,
         "FMSSM instance for failure of {:?}:",
@@ -638,11 +643,12 @@ fn cmd_relieve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     ensure_consumed(&args)?;
 
     let algo = make_algo(&algo_name, opt_secs)?;
-    let prog = Programmability::compute(&net);
+    let cache = NetCache::build(&net);
+    let prog: &Programmability = cache.programmability();
     let scenario = net
-        .fail(&failed)
+        .fail_cached(&failed, &cache)
         .map_err(|e| CliError::runtime(format!("invalid failure: {e}")))?;
-    let inst = FmssmInstance::new(&scenario, &prog);
+    let inst = FmssmInstance::with_cache(&scenario, prog, &cache);
     let plan = algo
         .recover(&inst)
         .map_err(|e| CliError::runtime(format!("{} failed: {e}", algo.name())))?;
@@ -652,7 +658,7 @@ fn cmd_relieve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let tm = pm_sdwan::TrafficMatrix::gravity(&net, 10_000.0);
     let base = pm_sdwan::LinkLoads::compute(&net, &tm, &Default::default());
     let capacity = base.max_link().map(|(_, l)| l / 0.8).unwrap_or(1.0);
-    let report = pm_core::relieve_hotspots(&scenario, &prog, &plan, &tm, capacity, max_moves)
+    let report = pm_core::relieve_hotspots(&scenario, prog, &plan, &tm, capacity, max_moves)
         .map_err(|e| CliError::runtime(format!("relief failed: {e}")))?;
     let _ = writeln!(out, "algorithm: {}", algo.name());
     let _ = writeln!(

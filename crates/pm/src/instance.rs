@@ -5,7 +5,7 @@
 //! `0..N`, active controllers `0..M`, offline flows `0..L` — exactly the
 //! index sets of the formulation, so algorithms work on compact vectors.
 
-use pm_sdwan::{ControllerId, FailureScenario, FlowId, Programmability, SwitchId};
+use pm_sdwan::{ControllerId, FailureScenario, FlowId, NetCache, Programmability, SwitchId};
 use std::collections::HashMap;
 
 /// A dense view of one recovery problem.
@@ -43,6 +43,28 @@ pub struct FmssmInstance<'a, 'net> {
 impl<'a, 'net> FmssmInstance<'a, 'net> {
     /// Builds the dense instance for a scenario.
     pub fn new(scenario: &'a FailureScenario<'net>, prog: &'a Programmability) -> Self {
+        Self::build(scenario, prog, None)
+    }
+
+    /// Like [`FmssmInstance::new`], reusing the per-network sorted
+    /// controller orders of `cache` instead of re-sorting per scenario.
+    /// The instance is identical to the uncached construction: the cached
+    /// global order is a stable sort by delay with ties toward the lower
+    /// controller id, so filtering it to the scenario's active set gives
+    /// exactly the per-scenario stable sort.
+    pub fn with_cache(
+        scenario: &'a FailureScenario<'net>,
+        prog: &'a Programmability,
+        cache: &NetCache,
+    ) -> Self {
+        Self::build(scenario, prog, Some(cache))
+    }
+
+    fn build(
+        scenario: &'a FailureScenario<'net>,
+        prog: &'a Programmability,
+        cache: Option<&NetCache>,
+    ) -> Self {
         let net = scenario.network();
         let switches: Vec<SwitchId> = scenario.offline_switches().to_vec();
         let switch_pos: HashMap<SwitchId, usize> =
@@ -74,18 +96,34 @@ impl<'a, 'net> FmssmInstance<'a, 'net> {
             .iter()
             .map(|&s| controllers.iter().map(|&c| net.ctrl_delay(s, c)).collect())
             .collect();
-        let ctrl_by_delay: Vec<Vec<usize>> = delay
-            .iter()
-            .map(|row: &Vec<f64>| {
-                let mut order: Vec<usize> = (0..controllers.len()).collect();
-                order.sort_by(|&a, &b| {
-                    row[a]
-                        .partial_cmp(&row[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                order
-            })
-            .collect();
+        let ctrl_by_delay: Vec<Vec<usize>> = match cache {
+            // Dense positions ascend with controller id, so mapping the
+            // cached id-ordered-by-delay list through `position` preserves
+            // both the delay order and the lower-id tie-break of the sort
+            // in the uncached arm below.
+            Some(cache) => switches
+                .iter()
+                .map(|&s| {
+                    cache
+                        .controllers_by_delay(s)
+                        .iter()
+                        .filter_map(|c| controllers.binary_search(c).ok())
+                        .collect()
+                })
+                .collect(),
+            None => delay
+                .iter()
+                .map(|row: &Vec<f64>| {
+                    let mut order: Vec<usize> = (0..controllers.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        row[a]
+                            .partial_cmp(&row[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    order
+                })
+                .collect(),
+        };
 
         FmssmInstance {
             scenario,
@@ -235,6 +273,31 @@ mod tests {
         let net = SdWanBuilder::att_paper_setup().build().unwrap();
         let prog = Programmability::compute(&net);
         (net, prog)
+    }
+
+    #[test]
+    fn with_cache_matches_uncached() {
+        let (net, prog) = instance_data();
+        let cache = NetCache::build(&net);
+        for failed in [
+            vec![ControllerId(0)],
+            vec![ControllerId(3), ControllerId(4)],
+            vec![ControllerId(1), ControllerId(2), ControllerId(5)],
+        ] {
+            let sc = net.fail(&failed).unwrap();
+            let sc_cached = net.fail_cached(&failed, &cache).unwrap();
+            let plain = FmssmInstance::new(&sc, &prog);
+            let cached = FmssmInstance::with_cache(&sc_cached, cache.programmability(), &cache);
+            assert_eq!(plain.switches(), cached.switches());
+            assert_eq!(plain.controllers(), cached.controllers());
+            assert_eq!(plain.flows(), cached.flows());
+            assert_eq!(plain.residuals(), cached.residuals());
+            assert_eq!(plain.ctrl_by_delay, cached.ctrl_by_delay);
+            assert_eq!(plain.entries_by_flow, cached.entries_by_flow);
+            assert_eq!(plain.entries_by_switch, cached.entries_by_switch);
+            assert_eq!(plain.gamma, cached.gamma);
+            assert_eq!(plain.delay, cached.delay);
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Golden regression tests: exact recovery numbers for two small
+//! deterministic instances.
+//!
+//! These lock in the observable behaviour of PM, RetroFlow, and PG —
+//! total/min programmability, flows and switches recovered, and the load
+//! each plan pushes onto the surviving controllers — so a future solver
+//! refactor that silently changes results fails loudly here. The instances
+//! are small enough to re-derive by hand if a *deliberate* behaviour change
+//! makes an update necessary; when that happens, re-run with
+//! `--nocapture` on the printed actuals and review every delta.
+
+use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, PlanMetrics, Programmability, SdWan, SdWanBuilder};
+use pm_topo::{builders, NodeId};
+
+/// One algorithm's expected outcome on an instance.
+struct Golden {
+    algo: &'static str,
+    total_programmability: u64,
+    min_programmability: u64,
+    recovered_flows: usize,
+    recovered_switches: usize,
+    /// `(controller, load the plan added)` for every surviving controller.
+    remapped_load: &'static [(usize, u32)],
+}
+
+fn check(name: &str, net: &SdWan, failed: &[ControllerId], expected: &[Golden]) {
+    let prog = Programmability::compute(net);
+    let scenario = net.fail(failed).expect("valid failure set");
+    let inst = FmssmInstance::new(&scenario, &prog);
+
+    let algos: [(&str, &dyn RecoveryAlgorithm); 3] = [
+        ("RetroFlow", &RetroFlow::new()),
+        ("PM", &Pm::new()),
+        ("PG", &Pg::new()),
+    ];
+    for ((algo_name, algo), want) in algos.iter().zip(expected) {
+        assert_eq!(*algo_name, want.algo, "golden table out of order");
+        let plan = algo.recover(&inst).expect("recovery succeeds");
+        plan.validate(&scenario, &prog, algo.is_flow_level())
+            .expect("plan valid");
+        let m = PlanMetrics::compute(&scenario, &prog, &plan, 0.0);
+        let ctx = format!("{name}/{algo_name}");
+        assert_eq!(
+            m.total_programmability, want.total_programmability,
+            "{ctx}: total programmability drifted"
+        );
+        assert_eq!(
+            m.min_programmability, want.min_programmability,
+            "{ctx}: min programmability drifted"
+        );
+        assert_eq!(
+            m.recovered_flows, want.recovered_flows,
+            "{ctx}: recovered flow count drifted"
+        );
+        assert_eq!(
+            m.recovered_switches, want.recovered_switches,
+            "{ctx}: recovered switch count drifted"
+        );
+        let loads: Vec<(usize, u32)> = m
+            .controller_usage
+            .iter()
+            .map(|u| (u.controller.0, u.used))
+            .collect();
+        assert_eq!(
+            loads, want.remapped_load,
+            "{ctx}: remapped load distribution drifted"
+        );
+    }
+}
+
+/// 3×4 grid, three controllers, middle controller fails. The instance where
+/// granularity matters: RetroFlow's switch-level remap fills the survivor
+/// with whole domains (74 load units for 16 flows), while PM and PG's
+/// per-flow plans recover every recoverable flow (25) at half the load.
+#[test]
+fn grid_instance_golden() {
+    let net = SdWanBuilder::new(builders::grid(3, 4))
+        .controller(NodeId(0), 200)
+        .controller(NodeId(5), 200)
+        .controller(NodeId(11), 200)
+        .all_pairs_flows()
+        .build()
+        .expect("grid builds");
+    let scenario = net.fail(&[ControllerId(1)]).expect("valid");
+    assert_eq!(scenario.offline_flows().len(), 82);
+    assert_eq!(scenario.offline_switches().len(), 3);
+
+    check(
+        "grid3x4",
+        &net,
+        &[ControllerId(1)],
+        &[
+            Golden {
+                algo: "RetroFlow",
+                total_programmability: 49,
+                min_programmability: 0,
+                recovered_flows: 16,
+                recovered_switches: 2,
+                remapped_load: &[(0, 0), (2, 74)],
+            },
+            Golden {
+                algo: "PM",
+                total_programmability: 79,
+                min_programmability: 0,
+                recovered_flows: 25,
+                recovered_switches: 3,
+                remapped_load: &[(0, 0), (2, 32)],
+            },
+            Golden {
+                algo: "PG",
+                total_programmability: 79,
+                min_programmability: 0,
+                recovered_flows: 25,
+                recovered_switches: 3,
+                remapped_load: &[(0, 0), (2, 32)],
+            },
+        ],
+    );
+}
+
+/// 8-node ring, two controllers, one fails. Every algorithm recovers the
+/// same three flows (an even ring offers exactly one alternate per
+/// antipodal pair), but the load they spend differs by an order of
+/// magnitude: RetroFlow remaps whole switches (67 units), PM and PG pay
+/// only for the flows that gain programmability (3 units).
+#[test]
+fn ring_instance_golden() {
+    let net = SdWanBuilder::new(builders::ring(8))
+        .controller(NodeId(0), 500)
+        .controller(NodeId(4), 500)
+        .all_pairs_flows()
+        .build()
+        .expect("ring builds");
+    let scenario = net.fail(&[ControllerId(1)]).expect("valid");
+    assert_eq!(scenario.offline_flows().len(), 37);
+    assert_eq!(scenario.offline_switches().len(), 3);
+
+    check(
+        "ring8",
+        &net,
+        &[ControllerId(1)],
+        &[
+            Golden {
+                algo: "RetroFlow",
+                total_programmability: 6,
+                min_programmability: 0,
+                recovered_flows: 3,
+                recovered_switches: 3,
+                remapped_load: &[(0, 67)],
+            },
+            Golden {
+                algo: "PM",
+                total_programmability: 6,
+                min_programmability: 0,
+                recovered_flows: 3,
+                recovered_switches: 3,
+                remapped_load: &[(0, 3)],
+            },
+            Golden {
+                algo: "PG",
+                total_programmability: 6,
+                min_programmability: 0,
+                recovered_flows: 3,
+                recovered_switches: 3,
+                remapped_load: &[(0, 3)],
+            },
+        ],
+    );
+}

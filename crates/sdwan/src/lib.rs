@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod hybrid;
 pub mod metrics;
 pub mod network;
@@ -51,6 +52,7 @@ pub mod traffic;
 
 mod error;
 
+pub use cache::NetCache;
 pub use error::SdwanError;
 pub use metrics::{BoxStats, PlanMetrics};
 pub use network::{Controller, ControllerId, Flow, FlowId, SdWan, SwitchId};

@@ -2,26 +2,19 @@
 
 use crate::SdwanError;
 use pm_topo::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an SDN switch. Switches correspond one-to-one with
 /// topology nodes: switch `i` sits at [`NodeId`] `i`.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SwitchId(pub usize);
 
 /// Identifier of a controller (dense index into [`SdWan::controllers`]).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ControllerId(pub usize);
 
 /// Identifier of a flow (dense index into [`SdWan::flows`]).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub usize);
 
 impl SwitchId {
@@ -71,7 +64,7 @@ impl fmt::Display for FlowId {
 /// An SDN controller: placed at a topology node, with a finite processing
 /// capacity measured in "flows it can control without extra delay" (the
 /// paper's definition in Section IV-B2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Controller {
     /// The node this controller is co-located with.
     pub node: NodeId,
@@ -80,7 +73,7 @@ pub struct Controller {
 }
 
 /// A unidirectional traffic flow routed on a fixed forwarding path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flow {
     /// Ingress switch.
     pub src: SwitchId,

@@ -10,7 +10,9 @@
 
 use crate::network::{FlowId, SdWan, SwitchId};
 use pm_topo::paths::PathCounts;
+use pm_topo::TopoCache;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Precomputed programmability data for every flow of a network.
 #[derive(Debug, Clone)]
@@ -40,13 +42,31 @@ impl Programmability {
     /// # Ok::<(), pm_sdwan::SdwanError>(())
     /// ```
     pub fn compute(net: &SdWan) -> Self {
-        let mut by_dest: HashMap<SwitchId, PathCounts> = HashMap::new();
+        let mut by_dest: HashMap<SwitchId, Arc<PathCounts>> = HashMap::new();
+        Self::compute_inner(net, |flow_dst| {
+            Arc::clone(
+                by_dest.entry(flow_dst).or_insert_with(|| {
+                    Arc::new(PathCounts::toward(net.topology(), flow_dst.node()))
+                }),
+            )
+        })
+    }
+
+    /// Like [`Programmability::compute`], reusing (and populating) the
+    /// path counts of `cache` instead of recomputing them. The result is
+    /// identical to the uncached computation.
+    pub fn compute_cached(net: &SdWan, cache: &TopoCache) -> Self {
+        Self::compute_inner(net, |flow_dst| cache.path_counts(flow_dst.node()))
+    }
+
+    fn compute_inner(
+        net: &SdWan,
+        mut counts_toward: impl FnMut(SwitchId) -> Arc<PathCounts>,
+    ) -> Self {
         let mut entries = Vec::with_capacity(net.flows().len());
         let mut lookup = HashMap::new();
         for (l, flow) in net.flows().iter().enumerate() {
-            let pc = by_dest
-                .entry(flow.dst)
-                .or_insert_with(|| PathCounts::toward(net.topology(), flow.dst.node()));
+            let pc = counts_toward(flow.dst);
             let mut flow_entries = Vec::new();
             for &s in &flow.path {
                 if s == flow.dst {

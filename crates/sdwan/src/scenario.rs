@@ -1,5 +1,6 @@
 //! Network construction and controller-failure scenarios.
 
+use crate::cache::NetCache;
 use crate::network::{Controller, ControllerId, Flow, FlowId, SdWan, SwitchId};
 use crate::SdwanError;
 use pm_topo::{att, paths, Graph, NodeId};
@@ -291,6 +292,29 @@ impl SdWan {
     /// Returns [`SdwanError::InvalidScenario`] if no controller fails, every
     /// controller fails, a controller id repeats, or an id is unknown.
     pub fn fail(&self, failed: &[ControllerId]) -> Result<FailureScenario<'_>, SdwanError> {
+        self.fail_impl(failed, |c| self.residual_capacity(c))
+    }
+
+    /// Like [`SdWan::fail`], reading residual controller capacities from a
+    /// precomputed [`NetCache`] instead of recomputing the per-controller
+    /// load. The result is identical to the uncached scenario.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SdWan::fail`].
+    pub fn fail_cached(
+        &self,
+        failed: &[ControllerId],
+        cache: &NetCache,
+    ) -> Result<FailureScenario<'_>, SdwanError> {
+        self.fail_impl(failed, |c| cache.residual_capacity(c))
+    }
+
+    fn fail_impl(
+        &self,
+        failed: &[ControllerId],
+        residual_of: impl Fn(ControllerId) -> u32,
+    ) -> Result<FailureScenario<'_>, SdwanError> {
         if failed.is_empty() {
             return Err(SdwanError::InvalidScenario("no failed controllers".into()));
         }
@@ -332,13 +356,7 @@ impl SdWan {
             .collect();
 
         let residual: Vec<Option<u32>> = (0..self.controllers.len())
-            .map(|c| {
-                if is_failed[c] {
-                    None
-                } else {
-                    Some(self.residual_capacity(ControllerId(c)))
-                }
-            })
+            .map(|c| (!is_failed[c]).then(|| residual_of(ControllerId(c))))
             .collect();
 
         let mut nearest_active = Vec::with_capacity(offline_switches.len());

@@ -8,9 +8,8 @@
 
 use crate::geo::GeoPoint;
 use crate::graph::{Graph, NodeId};
+use crate::rng::DetRng;
 use crate::TopoError;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// A ring of `n` nodes with unit edge weights.
 ///
@@ -153,12 +152,12 @@ pub fn waxman(params: &WaxmanParams) -> Result<Graph, TopoError> {
             message: "waxman: parameters out of range".into(),
         });
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut rng = DetRng::seed_from_u64(params.seed);
     let mut g = Graph::with_capacity(params.nodes);
     let half = params.region_degrees / 2.0;
     for i in 0..params.nodes {
-        let lat = 38.0 + rng.gen_range(-half..half) * 0.5; // squash latitude a bit
-        let lon = -96.0 + rng.gen_range(-half..half);
+        let lat = 38.0 + rng.gen_range(-half, half) * 0.5; // squash latitude a bit
+        let lon = -96.0 + rng.gen_range(-half, half);
         g.add_node(format!("w{i}"), Some(GeoPoint::new(lat, lon)));
     }
     // Maximum pairwise distance for the Waxman probability scale.
@@ -181,7 +180,7 @@ pub fn waxman(params: &WaxmanParams) -> Result<Graph, TopoError> {
                 .expect("set above")
                 .haversine_km(&g.node(NodeId(j)).position.expect("set above"));
             let p = params.alpha * (-d / (params.beta * max_d)).exp();
-            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            if rng.gen_bool(p) {
                 g.add_geo_edge(NodeId(i), NodeId(j))?;
             }
         }

@@ -1,0 +1,141 @@
+//! Read-only caches of per-node shortest-path state.
+//!
+//! A failure sweep evaluates hundreds of scenarios against the *same*
+//! topology: every scenario re-derives shortest-path trees and
+//! destination-rooted path counts that depend only on the graph. A
+//! [`TopoCache`] computes each of those once, on first use, and shares the
+//! result via [`Arc`] — across scenarios and across the sweep engine's
+//! worker threads. All cached values are pure functions of the graph, so
+//! reads are deterministic no matter which thread populates an entry first.
+
+use crate::graph::{Graph, NodeId};
+use crate::paths::{dijkstra, PathCounts, ShortestPathTree};
+use std::sync::{Arc, OnceLock};
+
+/// Lazily-populated, thread-safe cache of [`ShortestPathTree`]s and
+/// [`PathCounts`] for one immutable graph.
+///
+/// # Example
+///
+/// ```
+/// use pm_topo::{att, cache::TopoCache, NodeId};
+///
+/// let cache = TopoCache::new(att::att_backbone());
+/// let a = cache.path_counts(NodeId(3));
+/// let b = cache.path_counts(NodeId(3));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second lookup is shared");
+/// ```
+#[derive(Debug)]
+pub struct TopoCache {
+    graph: Graph,
+    trees: Vec<OnceLock<Arc<ShortestPathTree>>>,
+    counts: Vec<OnceLock<Arc<PathCounts>>>,
+}
+
+impl TopoCache {
+    /// Creates an empty cache owning `graph`. Nothing is computed until the
+    /// first lookup.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        TopoCache {
+            graph,
+            trees: (0..n).map(|_| OnceLock::new()).collect(),
+            counts: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The graph the cached values are derived from.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shortest-path tree rooted at `source`, computed on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn spt(&self, source: NodeId) -> Arc<ShortestPathTree> {
+        Arc::clone(self.trees[source.0].get_or_init(|| Arc::new(dijkstra(&self.graph, source))))
+    }
+
+    /// The loop-free path counts toward `dest`, computed on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is out of range.
+    pub fn path_counts(&self, dest: NodeId) -> Arc<PathCounts> {
+        Arc::clone(
+            self.counts[dest.0].get_or_init(|| Arc::new(PathCounts::toward(&self.graph, dest))),
+        )
+    }
+
+    /// Eagerly fills every entry. Useful before handing the cache to a
+    /// worker pool so no thread pays the first-use cost mid-measurement.
+    pub fn warm(&self) {
+        for v in self.graph.nodes() {
+            self.spt(v);
+            self.path_counts(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn cached_equals_fresh() {
+        let g = builders::grid(3, 4);
+        let cache = TopoCache::new(g.clone());
+        for v in g.nodes() {
+            assert_eq!(*cache.spt(v), dijkstra(&g, v));
+            let cached = cache.path_counts(v);
+            let fresh = PathCounts::toward(&g, v);
+            for u in g.nodes() {
+                assert_eq!(cached.count_from(u), fresh.count_from(u));
+                assert_eq!(cached.dist_from(u), fresh.dist_from(u));
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_share_one_computation() {
+        let cache = TopoCache::new(builders::ring(5));
+        assert!(Arc::ptr_eq(&cache.spt(NodeId(2)), &cache.spt(NodeId(2))));
+        assert!(Arc::ptr_eq(
+            &cache.path_counts(NodeId(0)),
+            &cache.path_counts(NodeId(0))
+        ));
+    }
+
+    #[test]
+    fn warm_fills_everything() {
+        let cache = TopoCache::new(builders::star(4));
+        cache.warm();
+        for slot in &cache.trees {
+            assert!(slot.get().is_some());
+        }
+        for slot in &cache.counts {
+            assert!(slot.get().is_some());
+        }
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(TopoCache::new(builders::grid(4, 4)));
+        let baseline = cache.path_counts(NodeId(15));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let baseline = Arc::clone(&baseline);
+                scope.spawn(move || {
+                    for v in cache.graph().nodes() {
+                        cache.spt(v);
+                    }
+                    assert!(Arc::ptr_eq(&cache.path_counts(NodeId(15)), &baseline));
+                });
+            }
+        });
+    }
+}

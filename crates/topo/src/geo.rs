@@ -4,8 +4,6 @@
 //! and converts them to propagation delays with a signal speed of
 //! 2×10⁸ m/s \[20\]. This module reproduces both.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in kilometers (IUGG value).
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
@@ -14,7 +12,7 @@ pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 pub const PROPAGATION_KM_PER_MS: f64 = 200.0;
 
 /// A point on the Earth's surface, in degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north.
     pub latitude: f64,

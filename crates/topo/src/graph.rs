@@ -2,17 +2,16 @@
 
 use crate::geo::GeoPoint;
 use crate::TopoError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node inside a [`Graph`].
 ///
 /// Node ids are dense indices: the `k`-th added node has id `NodeId(k)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 /// Identifier of an undirected edge inside a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -48,7 +47,7 @@ impl EdgeId {
 }
 
 /// Per-node metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeMeta {
     /// Human-readable label (city name in backbone topologies).
     pub name: String,
@@ -57,7 +56,7 @@ pub struct NodeMeta {
 }
 
 /// An undirected weighted edge.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// One endpoint.
     pub a: NodeId,
@@ -108,7 +107,7 @@ impl Edge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Graph {
     nodes: Vec<NodeMeta>,
     edges: Vec<Edge>,

@@ -41,15 +41,18 @@
 
 pub mod att;
 pub mod builders;
+pub mod cache;
 pub mod geo;
 pub mod graph;
 pub mod ksp;
 pub mod metrics;
 pub mod paths;
+pub mod rng;
 pub mod zoo;
 
 mod error;
 
+pub use cache::TopoCache;
 pub use error::TopoError;
 pub use geo::GeoPoint;
 pub use graph::{EdgeId, Graph, NodeId};

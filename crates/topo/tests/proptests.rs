@@ -1,7 +1,7 @@
 //! Property-based tests for the graph substrate.
 
 use pm_topo::paths::{self, PathCounts};
-use pm_topo::{ksp, Graph, NodeId};
+use pm_topo::{ksp, Graph, NodeId, TopoCache};
 use proptest::prelude::*;
 
 /// Strategy: a random simple graph with `3..=14` nodes and random positive
@@ -152,6 +152,87 @@ proptest! {
             match spt.dist_to(v) {
                 Some(d) => prop_assert_eq!(hops[v.index()], d.round() as usize),
                 None => prop_assert_eq!(hops[v.index()], usize::MAX),
+            }
+        }
+    }
+}
+
+/// Strategy: like [`arb_graph`] but capped at 10 nodes so exhaustive path
+/// enumeration stays cheap.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=10).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0usize..n, 0usize..n, 0.1f64..10.0), 0..=max_edges).prop_map(
+            move |edges| {
+                let mut g = Graph::with_capacity(n);
+                for i in 0..n {
+                    g.add_node(format!("n{i}"), None);
+                }
+                for (a, b, w) in edges {
+                    if a != b {
+                        let _ = g.add_edge(NodeId(a), NodeId(b), w);
+                    }
+                }
+                g
+            },
+        )
+    })
+}
+
+/// Exhaustively counts the paths from `v` to `dest` in the loop-free
+/// alternate DAG (every hop strictly closer to `dest`). Independent of the
+/// DP in `PathCounts::toward` — a plain recursion over DAG edges.
+fn exhaustive_dag_count(g: &Graph, dist: &[f64], v: NodeId, dest: NodeId) -> u64 {
+    if v == dest {
+        return 1;
+    }
+    g.neighbors(v)
+        .filter(|u| dist[u.index()] + 1e-9 < dist[v.index()])
+        .map(|u| exhaustive_dag_count(g, dist, u, dest))
+        .sum()
+}
+
+proptest! {
+    /// The cache layer is transparent: `TopoCache` hands back trees and
+    /// path counts equal to freshly computed ones, and repeated lookups
+    /// share one allocation.
+    #[test]
+    fn cache_matches_fresh(g in arb_graph()) {
+        let cache = TopoCache::new(g.clone());
+        for v in g.nodes() {
+            let cached_spt = cache.spt(v);
+            prop_assert_eq!(&*cached_spt, &paths::dijkstra(&g, v));
+            prop_assert!(std::sync::Arc::ptr_eq(&cached_spt, &cache.spt(v)));
+
+            let cached_pc = cache.path_counts(v);
+            let fresh = PathCounts::toward(&g, v);
+            prop_assert_eq!(cached_pc.dest(), fresh.dest());
+            for u in g.nodes() {
+                prop_assert_eq!(cached_pc.count_from(u), fresh.count_from(u));
+                let (dc, df) = (cached_pc.dist_from(u), fresh.dist_from(u));
+                prop_assert!(dc == df || (dc.is_infinite() && df.is_infinite()));
+            }
+            prop_assert!(std::sync::Arc::ptr_eq(&cached_pc, &cache.path_counts(v)));
+        }
+    }
+
+    /// On small graphs the DP path counts equal an independent exhaustive
+    /// enumeration of the DAG, and never exceed the count of *all* simple
+    /// paths.
+    #[test]
+    fn path_counts_match_exhaustive_dag(g in small_graph()) {
+        for dest in g.nodes() {
+            let pc = PathCounts::toward(&g, dest);
+            let spt = paths::dijkstra(&g, dest);
+            for v in g.nodes() {
+                if spt.dist_to(v).is_none() {
+                    prop_assert_eq!(pc.count_from(v), 0u64);
+                    continue;
+                }
+                let dag = exhaustive_dag_count(&g, spt.distances(), v, dest);
+                prop_assert_eq!(pc.count_from(v), dag, "DP vs DAG recursion at {v}");
+                let all = paths::count_simple_paths(&g, v, dest, g.node_count());
+                prop_assert!(dag <= all, "DAG paths must be simple paths");
             }
         }
     }

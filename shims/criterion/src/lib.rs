@@ -1,0 +1,197 @@
+//! A small, offline, drop-in subset of the
+//! [criterion](https://docs.rs/criterion) benchmarking API, so the
+//! workspace's benches build and run without crates.io access.
+//!
+//! Timing is a plain best-of-samples wall-clock measurement printed to
+//! stdout — no statistics, plots or baselines. `cargo bench -- --test`
+//! (the CI smoke mode) runs every benchmark body exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time per benchmark; samples stop once it is exceeded.
+const TARGET: Duration = Duration::from_millis(300);
+/// Maximum samples per benchmark.
+const MAX_SAMPLES: u32 = 50;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    /// `--test` smoke mode: run each body once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.test_mode, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.criterion.test_mode, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    test_mode: bool,
+    /// Best observed per-iteration time, if timing ran.
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best per-iteration figure over several
+    /// batches. In `--test` mode runs `f` once and records nothing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate a batch size so one batch is >= ~1ms.
+        let mut batch: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut best = Duration::MAX;
+        let mut spent = Duration::ZERO;
+        for _ in 0..MAX_SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            best = best.min(elapsed / batch);
+            spent += elapsed;
+            if spent >= TARGET {
+                break;
+            }
+        }
+        self.best = Some(best);
+    }
+}
+
+fn run_one(label: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        test_mode,
+        best: None,
+    };
+    f(&mut bencher);
+    match bencher.best {
+        Some(best) => println!("{label:<60} time: {best:>12.3?}"),
+        None if test_mode => println!("{label:<60} ok (test mode)"),
+        None => println!("{label:<60} (no measurement)"),
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = false;
+        c.bench_function("smoke", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("PM", "case").0, "PM/case");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

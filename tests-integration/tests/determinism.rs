@@ -1,0 +1,82 @@
+//! Schedule-independence of the parallel sweep engine.
+//!
+//! The acceptance bar for the worker pool: the *metric* tables a sweep
+//! produces must be byte-identical whatever `--jobs` is set to, and across
+//! repeated runs at the same setting. Only wall-clock timing may vary.
+//!
+//! Runs on a small generated topology (3×4 grid, four controllers) so the
+//! full k = 1..=3 sweep stays fast in debug builds.
+
+use pm_bench::figures::{build_panels, metrics_report};
+use pm_bench::{EvalOptions, SweepEngine};
+use pm_sdwan::{SdWan, SdWanBuilder};
+use pm_topo::{builders, NodeId};
+
+/// A 12-node grid with four controllers — small, deterministic, and with
+/// enough controllers for three simultaneous failures to leave a survivor.
+fn small_net() -> SdWan {
+    SdWanBuilder::new(builders::grid(3, 4))
+        .controller(NodeId(0), 200)
+        .controller(NodeId(3), 200)
+        .controller(NodeId(8), 200)
+        .controller(NodeId(11), 200)
+        .all_pairs_flows()
+        .build()
+        .expect("grid network builds")
+}
+
+fn options(jobs: usize) -> EvalOptions {
+    EvalOptions {
+        jobs,
+        skip_optimal: true,
+        ..EvalOptions::default()
+    }
+}
+
+/// Every metric table for k = 1..=3, concatenated into one string.
+fn metric_tables(net: &SdWan, jobs: usize) -> String {
+    let opts = options(jobs);
+    let engine = SweepEngine::new(net, opts.clone());
+    let mut out = String::new();
+    for k in 1..=3 {
+        let cases = engine.sweep(k);
+        out.push_str(&metrics_report(&cases, k, "determinism", true, &opts));
+    }
+    out
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_byte_identical() {
+    let net = small_net();
+    let serial = metric_tables(&net, 1);
+    let parallel = metric_tables(&net, 8);
+    assert!(
+        !serial.is_empty() && serial.contains("determinism"),
+        "report rendered"
+    );
+    assert_eq!(
+        serial, parallel,
+        "jobs=1 and jobs=8 must produce byte-identical metric tables"
+    );
+}
+
+#[test]
+fn repeated_parallel_sweeps_agree() {
+    let net = small_net();
+    let first = metric_tables(&net, 8);
+    let second = metric_tables(&net, 8);
+    assert_eq!(first, second, "two jobs=8 runs must agree byte-for-byte");
+}
+
+#[test]
+fn panels_are_schedule_independent_per_k() {
+    let net = small_net();
+    for k in 1..=3 {
+        let serial = SweepEngine::new(&net, options(1));
+        let parallel = SweepEngine::new(&net, options(8));
+        let (h1, p1) = build_panels(&serial.sweep(k), false, true);
+        let (h2, p2) = build_panels(&parallel.sweep(k), false, true);
+        assert_eq!(h1, h2, "headers differ at k={k}");
+        assert_eq!(p1, p2, "panel rows differ at k={k}");
+    }
+}
