@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the three hottest per-case kernels the
+//! dense index-space layout targets: the programmability recompute, PM's
+//! phase-1 pass, and one full sweep case through the [`SweepEngine`].
+//!
+//! Complements `benches/heuristic.rs` (whole-algorithm timings): these
+//! isolate the kernels the arena-indexed storage flattened, so a layout
+//! regression shows up here before it moves the Fig. 7 numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::{EvalOptions, SweepEngine};
+use pm_core::{FmssmInstance, Pm, PmConfig, RecoveryAlgorithm};
+use pm_sdwan::{ControllerId, NetCache, Programmability, SdWanBuilder};
+use std::hint::black_box;
+
+/// Kernel 1: the programmability table recompute (flat flow×switch table
+/// fill), with the topology cache warm — the per-network setup cost every
+/// sweep pays once.
+fn bench_programmability(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let cache = NetCache::build(&net);
+    cache.topo().warm();
+    c.bench_function("kernel/programmability_recompute", |b| {
+        b.iter(|| Programmability::compute_cached(black_box(&net), black_box(cache.topo())))
+    });
+}
+
+/// Kernel 2: PM's phase-1 pass alone (`skip_phase2`), the dense
+/// selection/pool scan at the heart of Algorithm 1.
+fn bench_pm_phase1(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let prog = Programmability::compute(&net);
+    let pm = Pm::with_config(PmConfig {
+        skip_phase2: true,
+        ..Default::default()
+    });
+    let cases: Vec<(&str, Vec<ControllerId>)> = vec![
+        ("1-failure (13)", vec![ControllerId(3)]),
+        ("2-failure (13,20)", vec![ControllerId(3), ControllerId(4)]),
+        (
+            "3-failure (5,13,20)",
+            vec![ControllerId(1), ControllerId(3), ControllerId(4)],
+        ),
+    ];
+    let mut group = c.benchmark_group("kernel/pm_phase1");
+    for (label, failed) in &cases {
+        let scenario = net.fail(failed).expect("valid case");
+        let inst = FmssmInstance::new(&scenario, &prog);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
+            b.iter(|| pm.recover(black_box(inst)).expect("pm phase 1"))
+        });
+    }
+    group.finish();
+}
+
+/// Kernel 3: one full sweep case (scenario build from cache, instance
+/// build, all heuristics, metrics) — the unit the parallel engine fans out.
+fn bench_sweep_case(c: &mut Criterion) {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup builds");
+    let opts = EvalOptions {
+        skip_optimal: true,
+        jobs: 1,
+        ..Default::default()
+    };
+    let engine = SweepEngine::new(&net, opts);
+    let failed = [ControllerId(3), ControllerId(4)];
+    c.bench_function("kernel/sweep_case (13,20)", |b| {
+        b.iter(|| engine.run_case(black_box(&failed)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_programmability,
+    bench_pm_phase1,
+    bench_sweep_case
+);
+criterion_main!(benches);

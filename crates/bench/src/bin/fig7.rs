@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]`
 
-use pm_bench::figures::{timing_rows, TIMING_HEADERS};
+use pm_bench::figures::{timing_rows, write_bench_sweep_json, TIMING_HEADERS};
 use pm_bench::harness::EvalOptions;
 use pm_bench::report::{render_table, write_csv};
 use pm_bench::SweepEngine;
@@ -86,6 +86,7 @@ fn main() {
 fn heuristic_timing(engine: &SweepEngine<'_>, opts: &EvalOptions) {
     let mut rows = Vec::new();
     let mut all_cases = Vec::new();
+    let mut sweeps = Vec::new();
     for k in 1..=3 {
         let cases = engine.sweep(k);
         for stat in timing_rows(&cases) {
@@ -93,8 +94,12 @@ fn heuristic_timing(engine: &SweepEngine<'_>, opts: &EvalOptions) {
             row.extend(stat);
             rows.push(row);
         }
-        all_cases.extend(cases);
+        all_cases.extend(cases.clone());
+        sweeps.push((k, cases));
     }
+    let sweep_refs: Vec<(usize, &[pm_bench::CaseResult])> =
+        sweeps.iter().map(|(k, c)| (*k, c.as_slice())).collect();
+    write_bench_sweep_json(opts, "fig7", &sweep_refs);
     println!(
         "fig7 --skip-optimal — heuristic computation time per case \
          ({} thread(s); wall clock)\n",

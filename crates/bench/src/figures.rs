@@ -227,6 +227,65 @@ pub fn timing_rows(cases: &[CaseResult]) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Renders the machine-readable timing baseline `BENCH_sweep.json`: one
+/// record per failure count with per-algorithm mean/p95/max per-case sweep
+/// time in milliseconds. The tree deliberately carries no serde, so the
+/// JSON is hand-formatted here — field order and layout are part of the
+/// schema and pinned by the determinism tests.
+pub fn bench_sweep_json(figure: &str, jobs: usize, sweeps: &[(usize, &[CaseResult])]) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"figure\": \"{figure}\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    out.push_str("  \"sweeps\": [\n");
+    for (si, (k, cases)) in sweeps.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"failures\": {k},");
+        let _ = writeln!(out, "      \"cases\": {},", cases.len());
+        out.push_str("      \"algorithms\": [\n");
+        let stats = timing_stats(cases);
+        for (ai, s) in stats.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"name\": \"{}\", \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \
+                 \"max_ms\": {:.3}, \"cases\": {}}}",
+                s.algorithm,
+                ms(s.mean),
+                ms(s.p95),
+                ms(s.max),
+                s.cases
+            );
+            out.push_str(if ai + 1 < stats.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 < sweeps.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`bench_sweep_json`] to `BENCH_sweep.json` in the CSV directory
+/// (or the working directory when `--csv` was not given). Errors are
+/// reported to stderr but not fatal, like the CSV writers.
+pub fn write_bench_sweep_json(opts: &EvalOptions, figure: &str, sweeps: &[(usize, &[CaseResult])]) {
+    let body = bench_sweep_json(figure, opts.jobs, sweeps);
+    let dir = opts
+        .csv_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("BENCH_sweep.json"), body))
+    {
+        eprintln!("warning: could not write BENCH_sweep.json: {e}");
+    }
+}
+
 /// Runs all `k`-controller-failure cases and prints the paper's panels.
 ///
 /// `fig_name` tags the output ("fig4" …); `switch_panels` adds the
@@ -268,6 +327,7 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
             &timing_rows(&cases),
         );
     }
+    write_bench_sweep_json(opts, fig_name, &[(k, cases.as_slice())]);
 }
 
 #[cfg(test)]

@@ -6,6 +6,10 @@ use pm_sdwan::ControllerId;
 /// controller id lists — the paper's "6 combinations" (k = 1),
 /// "15 combinations" (k = 2) and "20 combinations" (k = 3).
 ///
+/// The edge cases follow the binomial coefficient: `k = 0` yields the one
+/// empty combination (`C(n, 0) = 1`, even for `n = 0`), and `k > n` yields
+/// no combinations at all (`C(n, k) = 0`).
+///
 /// # Example
 ///
 /// ```
@@ -13,10 +17,16 @@ use pm_sdwan::ControllerId;
 /// assert_eq!(combinations(6, 1).len(), 6);
 /// assert_eq!(combinations(6, 2).len(), 15);
 /// assert_eq!(combinations(6, 3).len(), 20);
+/// assert_eq!(combinations(6, 0), vec![Vec::new()]);
+/// assert!(combinations(2, 3).is_empty());
 /// ```
 pub fn combinations(n: usize, k: usize) -> Vec<Vec<ControllerId>> {
     let mut out = Vec::new();
-    if k == 0 || k > n {
+    if k == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    if k > n {
         return out;
     }
     let mut idx: Vec<usize> = (0..k).collect();
@@ -50,8 +60,20 @@ mod tests {
         assert_eq!(combinations(6, 2).len(), 15);
         assert_eq!(combinations(6, 3).len(), 20);
         assert_eq!(combinations(5, 5).len(), 1);
+    }
+
+    #[test]
+    fn zero_k_yields_one_empty_combination() {
+        // C(n, 0) = 1: the empty failure set is itself a (trivial) case.
+        assert_eq!(combinations(3, 0), vec![Vec::<ControllerId>::new()]);
+        assert_eq!(combinations(0, 0), vec![Vec::<ControllerId>::new()]);
+    }
+
+    #[test]
+    fn oversized_k_yields_no_combinations() {
+        // C(n, k) = 0 for k > n.
         assert!(combinations(3, 4).is_empty());
-        assert!(combinations(3, 0).is_empty());
+        assert!(combinations(0, 1).is_empty());
     }
 
     #[test]

@@ -22,7 +22,84 @@
 use crate::instance::FmssmInstance;
 use crate::{PmError, RecoveryAlgorithm};
 use pm_sdwan::RecoveryPlan;
-use std::collections::BTreeSet;
+
+/// Dense `Y`: a flat row-major `switch × flow` membership bitmap plus the
+/// selection list, replacing the ordered-set representation on the hot
+/// path. Emission order does not matter — [`RecoveryPlan`] sorts — so the
+/// list records selections in insertion order.
+#[derive(Debug)]
+struct Selections {
+    flows: usize,
+    mask: Vec<bool>,
+    selected: Vec<(usize, usize)>,
+}
+
+impl Selections {
+    fn new(switches: usize, flows: usize) -> Self {
+        Selections {
+            flows,
+            mask: vec![false; switches * flows],
+            selected: Vec::new(),
+        }
+    }
+
+    fn contains(&self, ip: usize, lp: usize) -> bool {
+        self.mask[ip * self.flows + lp]
+    }
+
+    /// Marks `(ip, lp)` selected; `false` if it already was.
+    fn insert(&mut self, ip: usize, lp: usize) -> bool {
+        let cell = &mut self.mask[ip * self.flows + lp];
+        if *cell {
+            return false;
+        }
+        *cell = true;
+        self.selected.push((ip, lp));
+        true
+    }
+}
+
+/// Dense `S*`: the not-yet-tested switch set of one phase-1 pass, as a
+/// membership bitmap plus a live count (ascending-index iteration over the
+/// bitmap reproduces the ordered-set iteration it replaces, preserving the
+/// lowest-position tie-breaks).
+#[derive(Debug)]
+struct SwitchPool {
+    mask: Vec<bool>,
+    len: usize,
+}
+
+impl SwitchPool {
+    fn full(n: usize) -> Self {
+        SwitchPool {
+            mask: vec![true; n],
+            len: n,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.mask.fill(true);
+        self.len = self.mask.len();
+    }
+
+    fn remove(&mut self, ip: usize) {
+        if std::mem::replace(&mut self.mask[ip], false) {
+            self.len -= 1;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(ip, _)| ip)
+    }
+}
 
 /// How phase 1 picks the next switch to recover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,16 +219,14 @@ impl Pm {
         let l_count = inst.flows().len();
 
         let mut x: Vec<Option<usize>> = vec![None; n];
-        let mut y: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut y = Selections::new(n, l_count);
         let mut a: Vec<i64> = inst.residuals().iter().map(|&r| r as i64).collect();
         let mut h: Vec<u64> = vec![0; l_count];
 
         if let Some(seed) = seed {
             for (s, c) in seed.mappings() {
-                let (Some(ip), Some(jp)) = (
-                    inst.switch_position(s),
-                    inst.controllers().iter().position(|&cc| cc == c),
-                ) else {
+                let (Some(ip), Some(jp)) = (inst.switch_position(s), inst.controller_position(c))
+                else {
                     continue; // switch no longer offline or controller failed
                 };
                 x[ip] = Some(jp);
@@ -160,11 +235,11 @@ impl Pm {
                 let (Some(ip), Some(lp), Some(jp)) = (
                     inst.switch_position(s),
                     inst.flow_position(l),
-                    inst.controllers().iter().position(|&cc| cc == c),
+                    inst.controller_position(c),
                 ) else {
                     continue;
                 };
-                if x[ip] != Some(jp) || !y.insert((ip, lp)) {
+                if x[ip] != Some(jp) || !y.insert(ip, lp) {
                     continue;
                 }
                 let pbar = inst.programmability().pbar(l, s) as u64;
@@ -172,7 +247,7 @@ impl Pm {
                 a[jp] -= 1;
             }
         }
-        let mut s_star: BTreeSet<usize> = (0..n).collect();
+        let mut s_star = SwitchPool::full(n);
         let mut sigma: u64 = 0;
         let mut test_count = 0usize;
         let total_iterations = inst.total_iterations().max(1);
@@ -191,7 +266,7 @@ impl Pm {
                 SelectionRule::MostLeastProgFlows => {
                     let mut delta = 0usize;
                     let mut best = None;
-                    for &ip in &s_star {
+                    for ip in s_star.iter() {
                         let test_num = inst
                             .switch_entries(ip)
                             .iter()
@@ -206,18 +281,16 @@ impl Pm {
                 }
                 SelectionRule::HighestGamma => s_star
                     .iter()
-                    .copied()
                     .filter(|&ip| !inst.switch_entries(ip).is_empty())
                     .max_by_key(|&ip| inst.gamma(ip)),
                 SelectionRule::LowestId => s_star
                     .iter()
-                    .copied()
                     .find(|&ip| !inst.switch_entries(ip).is_empty()),
             };
             let Some(i0) = i0 else {
                 // No switch can serve a least-programmable flow: this pass
                 // is exhausted, behave as lines 37–39.
-                s_star = (0..n).collect();
+                s_star.refill();
                 test_count += 1;
                 sigma = min_h(&h);
                 continue;
@@ -245,20 +318,20 @@ impl Pm {
                 }
             };
             x[i0] = Some(j0);
-            s_star.remove(&i0);
+            s_star.remove(i0);
 
             // Lines 31–36: SDN mode for least-programmable flows at s_{i0}.
             for &(lp, pbar) in inst.switch_entries(i0) {
-                if h[lp] <= sigma && !y.contains(&(i0, lp)) && a[j0] > 0 {
+                if h[lp] <= sigma && !y.contains(i0, lp) && a[j0] > 0 {
                     a[j0] -= 1;
                     h[lp] += pbar as u64;
-                    y.insert((i0, lp));
+                    y.insert(i0, lp);
                 }
             }
 
             // Lines 37–39: restart the pass when every switch was tested.
             if s_star.is_empty() {
-                s_star = (0..n).collect();
+                s_star.refill();
                 test_count += 1;
                 sigma = min_h(&h);
             }
@@ -266,13 +339,13 @@ impl Pm {
 
         // Lines 42–50: improve the total programmability with leftovers.
         if !self.config.skip_phase2 {
-            for (ip, &ctrl) in x.iter().enumerate() {
-                if let Some(j0) = ctrl {
+            for (ip, ctrl) in x.iter().enumerate() {
+                if let Some(j0) = *ctrl {
                     for &(lp, pbar) in inst.switch_entries(ip) {
-                        if a[j0] > 0 && !y.contains(&(ip, lp)) {
+                        if a[j0] > 0 && !y.contains(ip, lp) {
                             a[j0] -= 1;
                             h[lp] += pbar as u64;
-                            y.insert((ip, lp));
+                            y.insert(ip, lp);
                         }
                     }
                 }
@@ -286,7 +359,7 @@ impl Pm {
                 plan.map_switch(inst.switches()[ip], inst.controllers()[*j]);
             }
         }
-        for &(ip, lp) in &y {
+        for &(ip, lp) in &y.selected {
             plan.set_sdn(inst.switches()[ip], inst.flows()[lp]);
         }
         Ok(plan)

@@ -5,25 +5,36 @@
 //! `0..N`, active controllers `0..M`, offline flows `0..L` — exactly the
 //! index sets of the formulation, so algorithms work on compact vectors.
 
-use pm_sdwan::{ControllerId, FailureScenario, FlowId, NetCache, Programmability, SwitchId};
-use std::collections::HashMap;
+use pm_sdwan::{
+    ControllerId, FailureScenario, FlowId, IndexSpace, NetCache, Programmability, SwitchId,
+};
 
 /// A dense view of one recovery problem.
+///
+/// Id-to-position resolution is a direct array read: the network's
+/// [`IndexSpace`] sizes per-id tables (`switch_pos`, `flow_pos`,
+/// `ctrl_pos`) holding each id's dense position, `None` when the id is not
+/// part of this instance. No keyed map is consulted anywhere in
+/// construction or lookup.
 #[derive(Debug, Clone)]
 pub struct FmssmInstance<'a, 'net> {
     scenario: &'a FailureScenario<'net>,
     prog: &'a Programmability,
     /// Offline switches (the paper's `S`), sorted by id.
     switches: Vec<SwitchId>,
-    switch_pos: HashMap<SwitchId, usize>,
+    /// Per switch id: its dense position, `None` when online.
+    switch_pos: Vec<Option<usize>>,
     /// Active controllers (the paper's `C`), sorted by id.
     controllers: Vec<ControllerId>,
+    /// Per controller id: its dense position, `None` when failed.
+    ctrl_pos: Vec<Option<usize>>,
     /// Residual capacity per active controller (aligned with
     /// `controllers`) — the paper's `A_j^rest`.
     residual: Vec<u32>,
     /// Offline flows (the paper's `F`), sorted by id.
     flows: Vec<FlowId>,
-    flow_pos: HashMap<FlowId, usize>,
+    /// Per flow id: its dense position, `None` when online.
+    flow_pos: Vec<Option<usize>>,
     /// Per offline flow: its `(switch position, p̄)` entries at offline
     /// switches with `β = 1`, in path order.
     entries_by_flow: Vec<Vec<(usize, u32)>>,
@@ -66,24 +77,33 @@ impl<'a, 'net> FmssmInstance<'a, 'net> {
         cache: Option<&NetCache>,
     ) -> Self {
         let net = scenario.network();
+        let space = IndexSpace::of(net);
         let switches: Vec<SwitchId> = scenario.offline_switches().to_vec();
-        let switch_pos: HashMap<SwitchId, usize> =
-            switches.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut switch_pos = space.switch_table(None);
+        for (i, &s) in switches.iter().enumerate() {
+            switch_pos[s.index()] = Some(i);
+        }
         let controllers: Vec<ControllerId> = scenario.active_controllers().to_vec();
+        let mut ctrl_pos = space.controller_table(None);
+        for (j, &c) in controllers.iter().enumerate() {
+            ctrl_pos[c.index()] = Some(j);
+        }
         let residual: Vec<u32> = controllers
             .iter()
             .map(|&c| scenario.residual_capacity(c))
             .collect();
         let flows: Vec<FlowId> = scenario.offline_flows().to_vec();
-        let flow_pos: HashMap<FlowId, usize> =
-            flows.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let mut flow_pos = space.flow_table(None);
+        for (i, &l) in flows.iter().enumerate() {
+            flow_pos[l.index()] = Some(i);
+        }
 
         let mut entries_by_flow = Vec::with_capacity(flows.len());
         let mut entries_by_switch: Vec<Vec<(usize, u32)>> = vec![Vec::new(); switches.len()];
         for (lp, &l) in flows.iter().enumerate() {
             let mut row = Vec::new();
             for &(s, p) in prog.flow_entries(l) {
-                if let Some(&ip) = switch_pos.get(&s) {
+                if let Some(ip) = switch_pos[s.index()] {
                     row.push((ip, p));
                     entries_by_switch[ip].push((lp, p));
                 }
@@ -98,7 +118,7 @@ impl<'a, 'net> FmssmInstance<'a, 'net> {
             .collect();
         let ctrl_by_delay: Vec<Vec<usize>> = match cache {
             // Dense positions ascend with controller id, so mapping the
-            // cached id-ordered-by-delay list through `position` preserves
+            // cached id-ordered-by-delay list through `ctrl_pos` preserves
             // both the delay order and the lower-id tie-break of the sort
             // in the uncached arm below.
             Some(cache) => switches
@@ -107,7 +127,7 @@ impl<'a, 'net> FmssmInstance<'a, 'net> {
                     cache
                         .controllers_by_delay(s)
                         .iter()
-                        .filter_map(|c| controllers.binary_search(c).ok())
+                        .filter_map(|c| ctrl_pos[c.index()])
                         .collect()
                 })
                 .collect(),
@@ -131,6 +151,7 @@ impl<'a, 'net> FmssmInstance<'a, 'net> {
             switches,
             switch_pos,
             controllers,
+            ctrl_pos,
             residual,
             flows,
             flow_pos,
@@ -174,12 +195,17 @@ impl<'a, 'net> FmssmInstance<'a, 'net> {
 
     /// Dense position of an offline switch, if it is offline.
     pub fn switch_position(&self, s: SwitchId) -> Option<usize> {
-        self.switch_pos.get(&s).copied()
+        self.switch_pos.get(s.index()).copied().flatten()
     }
 
     /// Dense position of an offline flow, if it is offline.
     pub fn flow_position(&self, l: FlowId) -> Option<usize> {
-        self.flow_pos.get(&l).copied()
+        self.flow_pos.get(l.index()).copied().flatten()
+    }
+
+    /// Dense position of an active controller, if it is active.
+    pub fn controller_position(&self, c: ControllerId) -> Option<usize> {
+        self.ctrl_pos.get(c.index()).copied().flatten()
     }
 
     /// `(switch position, p̄)` entries of flow position `lp`, in path order.
@@ -292,6 +318,9 @@ mod tests {
             assert_eq!(plain.controllers(), cached.controllers());
             assert_eq!(plain.flows(), cached.flows());
             assert_eq!(plain.residuals(), cached.residuals());
+            assert_eq!(plain.switch_pos, cached.switch_pos);
+            assert_eq!(plain.flow_pos, cached.flow_pos);
+            assert_eq!(plain.ctrl_pos, cached.ctrl_pos);
             assert_eq!(plain.ctrl_by_delay, cached.ctrl_by_delay);
             assert_eq!(plain.entries_by_flow, cached.entries_by_flow);
             assert_eq!(plain.entries_by_switch, cached.entries_by_switch);
@@ -311,6 +340,16 @@ mod tests {
         for (i, &l) in inst.flows().iter().enumerate() {
             assert_eq!(inst.flow_position(l), Some(i));
         }
+        for (j, &c) in inst.controllers().iter().enumerate() {
+            assert_eq!(inst.controller_position(c), Some(j));
+        }
+        for &c in sc.failed_controllers() {
+            assert_eq!(inst.controller_position(c), None);
+        }
+        // Out-of-range ids resolve to None instead of panicking.
+        assert_eq!(inst.switch_position(SwitchId(10_000)), None);
+        assert_eq!(inst.flow_position(FlowId(10_000)), None);
+        assert_eq!(inst.controller_position(ControllerId(10_000)), None);
         assert_eq!(inst.switches().len(), sc.offline_switches().len());
         assert_eq!(inst.controllers().len(), 4);
     }

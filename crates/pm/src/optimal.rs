@@ -24,7 +24,6 @@ use crate::instance::FmssmInstance;
 use crate::{PmError, RecoveryAlgorithm};
 use pm_milp::{MilpResult, MilpSolver, MilpStatus, Model, Sense, Var, VarKind};
 use pm_sdwan::RecoveryPlan;
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// How the `ω_ij^l ≤ x_ij` linking constraints are encoded.
@@ -232,6 +231,39 @@ impl RecoveryAlgorithm for Optimal {
     }
 }
 
+/// Dense `(switch position, flow position) → entry index` lookup: a flat
+/// row-major table over the instance's position space, with `usize::MAX`
+/// marking absent pairs.
+pub(crate) struct EntryIndex {
+    flows: usize,
+    cells: Vec<usize>,
+}
+
+impl EntryIndex {
+    fn new(switches: usize, flows: usize) -> Self {
+        EntryIndex {
+            flows,
+            cells: vec![usize::MAX; switches * flows],
+        }
+    }
+
+    fn insert(&mut self, ip: usize, lp: usize, k: usize) {
+        self.cells[ip * self.flows + lp] = k;
+    }
+
+    fn get(&self, ip: usize, lp: usize) -> Option<usize> {
+        match self.cells.get(ip * self.flows + lp) {
+            Some(&k) if k != usize::MAX => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Entry index of a pair known to exist (instance entries only).
+    fn at(&self, ip: usize, lp: usize) -> usize {
+        self.cells[ip * self.flows + lp]
+    }
+}
+
 /// The assembled model plus the variable layout needed to map solutions
 /// back to plans.
 pub(crate) struct BuiltModel {
@@ -242,8 +274,8 @@ pub(crate) struct BuiltModel {
     entries: Vec<(usize, usize, u32)>,
     /// `ω[k][jp]` variables, aligned with `entries`.
     omega: Vec<Vec<Var>>,
-    /// Lookup from `(ip, lp)` to entry index.
-    entry_index: HashMap<(usize, usize), usize>,
+    /// Dense lookup from `(ip, lp)` to entry index.
+    entry_index: EntryIndex,
     /// The `r` variable.
     r: Var,
 }
@@ -279,10 +311,10 @@ pub(crate) fn build_model(
         .collect();
 
     let mut entries = Vec::new();
-    let mut entry_index = HashMap::new();
+    let mut entry_index = EntryIndex::new(n, inst.flows().len());
     for lp in 0..inst.flows().len() {
         for &(ip, pbar) in inst.flow_entries(lp) {
-            entry_index.insert((ip, lp), entries.len());
+            entry_index.insert(ip, lp, entries.len());
             entries.push((ip, lp, pbar));
         }
     }
@@ -366,7 +398,7 @@ pub(crate) fn build_model(
             .flow_entries(lp)
             .iter()
             .flat_map(|&(ip, pbar)| {
-                let k = entry_index[&(ip, lp)];
+                let k = entry_index.at(ip, lp);
                 (0..m).map(move |jp| (k, jp, pbar))
             })
             .map(|(k, jp, pbar)| (omega[k][jp], pbar as f64))
@@ -502,7 +534,7 @@ impl BuiltModel {
         let mut mapping = data.nearest.clone();
         for (s, c) in plan.mappings() {
             let ip = inst.switch_position(s)?;
-            let jp = inst.controllers().iter().position(|&cc| cc == c)?;
+            let jp = inst.controller_position(c)?;
             mapping[ip] = jp;
         }
         let values = self.greedy_values(&data, &mapping);
@@ -521,15 +553,15 @@ impl BuiltModel {
         let mut values = vec![0.0; self.model.var_count()];
         for (s, c) in plan.mappings() {
             let ip = inst.switch_position(s)?;
-            let jp = inst.controllers().iter().position(|&cc| cc == c)?;
+            let jp = inst.controller_position(c)?;
             values[self.x[ip][jp].index()] = 1.0;
         }
         let mut per_flow = vec![0u64; inst.flows().len()];
         for (s, l, c) in plan.sdn_selections() {
             let ip = inst.switch_position(s)?;
             let lp = inst.flow_position(l)?;
-            let jp = inst.controllers().iter().position(|&cc| cc == c)?;
-            let k = *self.entry_index.get(&(ip, lp))?;
+            let jp = inst.controller_position(c)?;
+            let k = self.entry_index.get(ip, lp)?;
             values[self.omega[k][jp].index()] = 1.0;
             per_flow[lp] += self.entries[k].2 as u64;
         }
@@ -627,7 +659,7 @@ impl BuiltModel {
             a[jp] -= 1;
             *delay_left -= cost;
             h[lp] += pbar as u64;
-            let k = self.entry_index[&(ip, lp)];
+            let k = self.entry_index.at(ip, lp);
             values[self.omega[k][jp].index()] = 1.0;
             true
         };

@@ -10,6 +10,7 @@
 //! from cached parts without repeating the work — with results identical to
 //! the uncached paths.
 
+use crate::dest_counts::DestCounts;
 use crate::network::{ControllerId, SdWan, SwitchId};
 use crate::programmability::Programmability;
 use pm_topo::TopoCache;
@@ -49,7 +50,10 @@ impl NetCache {
     /// Computes every cacheable quantity of `net`.
     pub fn build(net: &SdWan) -> Self {
         let topo = Arc::new(TopoCache::new(net.topology().clone()));
-        let prog = Arc::new(Programmability::compute_cached(net, &topo));
+        let prog = Arc::new(Programmability::compute_with(
+            net,
+            &mut DestCounts::cached(&topo),
+        ));
         let loads: Vec<u32> = (0..net.controllers().len())
             .map(|c| net.controller_load(ControllerId(c)))
             .collect();

@@ -1,0 +1,90 @@
+//! Shared per-destination [`PathCounts`] assembly.
+//!
+//! Programmability (`β_i^l`, `p̄_i^l`) needs the destination-rooted
+//! loop-free path counts of every flow destination. Two call sites used to
+//! assemble those independently — `Programmability::compute` with a local
+//! hash-map memo and `NetCache::build` through a [`TopoCache`] — with the
+//! invariant that both produce identical counts. [`DestCounts`] is the one
+//! shared helper both now go through: a dense per-destination memo for the
+//! fresh path, delegation for the cached path.
+
+use crate::network::SwitchId;
+use pm_topo::paths::PathCounts;
+use pm_topo::{Graph, TopoCache};
+use std::sync::Arc;
+
+/// Memoized resolver from a flow destination to its loop-free path counts.
+#[derive(Debug)]
+pub(crate) enum DestCounts<'a> {
+    /// Computes on demand, memoized in a dense per-node table.
+    Fresh {
+        /// The topology counts are computed against.
+        graph: &'a Graph,
+        /// Per destination node: the counts, once computed.
+        memo: Vec<Option<Arc<PathCounts>>>,
+    },
+    /// Delegates to (and populates) a shared [`TopoCache`].
+    Cached(&'a TopoCache),
+}
+
+impl<'a> DestCounts<'a> {
+    /// A resolver computing counts directly from `graph`.
+    pub(crate) fn fresh(graph: &'a Graph) -> Self {
+        DestCounts::Fresh {
+            graph,
+            memo: vec![None; graph.node_count()],
+        }
+    }
+
+    /// A resolver backed by a shared topology cache.
+    pub(crate) fn cached(cache: &'a TopoCache) -> Self {
+        DestCounts::Cached(cache)
+    }
+
+    /// The loop-free path counts toward `dst`, computed at most once per
+    /// destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range for the underlying topology.
+    pub(crate) fn toward(&mut self, dst: SwitchId) -> Arc<PathCounts> {
+        match self {
+            DestCounts::Fresh { graph, memo } => Arc::clone(
+                memo[dst.index()]
+                    .get_or_insert_with(|| Arc::new(PathCounts::toward(graph, dst.node()))),
+            ),
+            DestCounts::Cached(cache) => cache.path_counts(dst.node()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_topo::builders;
+
+    #[test]
+    fn fresh_memoizes_per_destination() {
+        let g = builders::grid(3, 3);
+        let mut dest = DestCounts::fresh(&g);
+        let a = dest.toward(SwitchId(4));
+        let b = dest.toward(SwitchId(4));
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the first");
+    }
+
+    #[test]
+    fn fresh_and_cached_agree() {
+        let g = builders::grid(3, 3);
+        let cache = TopoCache::new(g.clone());
+        let mut fresh = DestCounts::fresh(&g);
+        let mut cached = DestCounts::cached(&cache);
+        for v in g.nodes() {
+            let s = SwitchId(v.index());
+            let f = fresh.toward(s);
+            let c = cached.toward(s);
+            for u in g.nodes() {
+                assert_eq!(f.count_from(u), c.count_from(u));
+            }
+        }
+    }
+}

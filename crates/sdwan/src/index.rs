@@ -1,0 +1,190 @@
+//! The dense index space: contiguous `usize` indices for switches, flows
+//! and controllers, plus flat tables addressed by them.
+//!
+//! [`SwitchId`], [`FlowId`] and [`ControllerId`] are interned at network
+//! build time: switch `i` sits at node `i`, and flows and controllers are
+//! numbered densely in creation order. [`IndexSpace`] records the three
+//! universe sizes of one network so every layer can allocate exact-size
+//! dense tables instead of keyed maps, and [`FlowSwitchTable`] is the
+//! shared row-major `flow × switch` layout used by the programmability
+//! lookup and plan validation.
+
+use crate::network::{ControllerId, FlowId, SdWan, SwitchId};
+
+/// The sizes of one network's three id universes.
+///
+/// IDs are already dense creation-order indices, so the "interner" is the
+/// record of how many of each exist; dense tables are then addressed by
+/// `id.index()` directly, with out-of-range ids simply absent.
+///
+/// # Example
+///
+/// ```
+/// use pm_sdwan::{IndexSpace, SdWanBuilder};
+/// let net = SdWanBuilder::att_paper_setup().build()?;
+/// let space = IndexSpace::of(&net);
+/// assert_eq!(space.switch_count(), 25);
+/// let mut gamma = space.switch_table(0u32);
+/// for s in net.switches() {
+///     gamma[s.index()] = net.gamma(s);
+/// }
+/// # Ok::<(), pm_sdwan::SdwanError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexSpace {
+    switches: usize,
+    flows: usize,
+    controllers: usize,
+}
+
+impl IndexSpace {
+    /// Captures the index space of `net`.
+    pub fn of(net: &SdWan) -> Self {
+        IndexSpace {
+            switches: net.switch_count(),
+            flows: net.flows().len(),
+            controllers: net.controllers().len(),
+        }
+    }
+
+    /// Number of switch indices (== topology nodes).
+    pub fn switch_count(&self) -> usize {
+        self.switches
+    }
+
+    /// Number of flow indices.
+    pub fn flow_count(&self) -> usize {
+        self.flows
+    }
+
+    /// Number of controller indices.
+    pub fn controller_count(&self) -> usize {
+        self.controllers
+    }
+
+    /// `true` if `s` belongs to this index space.
+    pub fn has_switch(&self, s: SwitchId) -> bool {
+        s.index() < self.switches
+    }
+
+    /// `true` if `l` belongs to this index space.
+    pub fn has_flow(&self, l: FlowId) -> bool {
+        l.index() < self.flows
+    }
+
+    /// `true` if `c` belongs to this index space.
+    pub fn has_controller(&self, c: ControllerId) -> bool {
+        c.index() < self.controllers
+    }
+
+    /// A dense per-switch table filled with `fill`, addressed by
+    /// `SwitchId::index`.
+    pub fn switch_table<T: Clone>(&self, fill: T) -> Vec<T> {
+        vec![fill; self.switches]
+    }
+
+    /// A dense per-flow table filled with `fill`, addressed by
+    /// `FlowId::index`.
+    pub fn flow_table<T: Clone>(&self, fill: T) -> Vec<T> {
+        vec![fill; self.flows]
+    }
+
+    /// A dense per-controller table filled with `fill`, addressed by
+    /// `ControllerId::index`.
+    pub fn controller_table<T: Clone>(&self, fill: T) -> Vec<T> {
+        vec![fill; self.controllers]
+    }
+
+    /// A dense row-major `flow × switch` table filled with `fill`.
+    pub fn flow_switch_table<T: Clone>(&self, fill: T) -> FlowSwitchTable<T> {
+        FlowSwitchTable {
+            switches: self.switches,
+            cells: vec![fill; self.flows * self.switches],
+        }
+    }
+}
+
+/// A dense row-major `flow × switch` table: cell `(l, s)` lives at
+/// `l.index() * switch_count + s.index()`, so a flow's row is one
+/// contiguous slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSwitchTable<T> {
+    switches: usize,
+    cells: Vec<T>,
+}
+
+impl<T> FlowSwitchTable<T> {
+    /// The cell for `(l, s)`, or `None` when either id is outside the table.
+    pub fn get(&self, l: FlowId, s: SwitchId) -> Option<&T> {
+        if s.index() >= self.switches {
+            return None;
+        }
+        self.cells.get(l.index() * self.switches + s.index())
+    }
+
+    /// Overwrites the cell for `(l, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is outside the table.
+    pub fn set(&mut self, l: FlowId, s: SwitchId, value: T) {
+        assert!(s.index() < self.switches, "switch {s} outside table");
+        self.cells[l.index() * self.switches + s.index()] = value;
+    }
+
+    /// Flow `l`'s row as a contiguous per-switch slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is outside the table.
+    pub fn row(&self, l: FlowId) -> &[T] {
+        &self.cells[l.index() * self.switches..(l.index() + 1) * self.switches]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SdWanBuilder;
+    use pm_topo::{builders, NodeId};
+
+    fn net() -> SdWan {
+        SdWanBuilder::new(builders::grid(3, 3))
+            .controller(NodeId(0), 500)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn space_matches_network_sizes() {
+        let net = net();
+        let space = IndexSpace::of(&net);
+        assert_eq!(space.switch_count(), net.switch_count());
+        assert_eq!(space.flow_count(), net.flows().len());
+        assert_eq!(space.controller_count(), net.controllers().len());
+        assert!(space.has_switch(SwitchId(8)) && !space.has_switch(SwitchId(9)));
+        assert!(space.has_flow(FlowId(0)) && !space.has_flow(FlowId(net.flows().len())));
+        assert!(space.has_controller(ControllerId(0)) && !space.has_controller(ControllerId(1)));
+    }
+
+    #[test]
+    fn tables_have_exact_sizes() {
+        let space = IndexSpace::of(&net());
+        assert_eq!(space.switch_table(0u8).len(), space.switch_count());
+        assert_eq!(space.flow_table(false).len(), space.flow_count());
+        assert_eq!(space.controller_table(0u32).len(), space.controller_count());
+    }
+
+    #[test]
+    fn flow_switch_table_is_row_major() {
+        let space = IndexSpace::of(&net());
+        let mut t = space.flow_switch_table(0u32);
+        t.set(FlowId(2), SwitchId(5), 7);
+        assert_eq!(t.get(FlowId(2), SwitchId(5)), Some(&7));
+        assert_eq!(t.get(FlowId(2), SwitchId(4)), Some(&0));
+        assert_eq!(t.row(FlowId(2))[5], 7);
+        // Out-of-range ids read as absent instead of panicking.
+        assert_eq!(t.get(FlowId(2), SwitchId(1000)), None);
+        assert_eq!(t.get(FlowId(100_000), SwitchId(0)), None);
+    }
+}

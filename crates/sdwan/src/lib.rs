@@ -42,6 +42,7 @@
 
 pub mod cache;
 pub mod hybrid;
+pub mod index;
 pub mod metrics;
 pub mod network;
 pub mod placement;
@@ -50,10 +51,12 @@ pub mod programmability;
 pub mod scenario;
 pub mod traffic;
 
+mod dest_counts;
 mod error;
 
 pub use cache::NetCache;
 pub use error::SdwanError;
+pub use index::{FlowSwitchTable, IndexSpace};
 pub use metrics::{BoxStats, PlanMetrics};
 pub use network::{Controller, ControllerId, Flow, FlowId, SdWan, SwitchId};
 pub use placement::{place_controllers, PlacementStrategy};

@@ -128,10 +128,21 @@ impl PlanMetrics {
         middle_layer_ms: f64,
     ) -> PlanMetrics {
         let net = scenario.network();
+        // One pass over the plan's SDN selections into a dense per-flow
+        // accumulator (p̄ reads are O(1) on the flat programmability table),
+        // instead of re-scanning the selection map once per offline flow.
+        // `pbar` is 0 exactly for β = 0 pairs, and selections are unique, so
+        // this matches `RecoveryPlan::flow_programmability` per flow.
+        let mut gained = vec![0u64; net.flows().len()];
+        for (s, l, _c) in plan.sdn_selections() {
+            if l.index() < gained.len() {
+                gained[l.index()] += prog.pbar(l, s) as u64;
+            }
+        }
         let per_flow: Vec<u64> = scenario
             .offline_flows()
             .iter()
-            .map(|&l| plan.flow_programmability(prog, l))
+            .map(|&l| gained[l.index()])
             .collect();
         let recoverable_mask: Vec<bool> = scenario
             .offline_flows()
@@ -147,14 +158,14 @@ impl PlanMetrics {
         let recovered = per_flow.iter().filter(|&&p| p > 0).count();
         let recoverable = recoverable_mask.iter().filter(|&&b| b).count();
 
-        let usage_map = plan.controller_usage(scenario);
+        let used = plan.controller_usage_dense(scenario);
         let controller_usage: Vec<ControllerUsage> = scenario
             .active_controllers()
             .iter()
             .map(|&c| ControllerUsage {
                 controller: c,
                 available: scenario.residual_capacity(c),
-                used: usage_map.get(&c).copied().unwrap_or(0),
+                used: used[c.index()],
             })
             .collect();
 

@@ -137,23 +137,55 @@ impl RecoveryPlan {
         set
     }
 
-    /// Control load this plan adds to each controller: `γ_i` for
-    /// whole-switch SDN switches, one unit per flow-level selection
-    /// elsewhere.
-    pub fn controller_usage(&self, scenario: &FailureScenario<'_>) -> BTreeMap<ControllerId, u32> {
+    /// Dense per-controller accumulation backing both
+    /// [`RecoveryPlan::controller_usage`] and validation: `used[j]` is the
+    /// load added to controller `j`, `touched[j]` is whether the plan
+    /// references controller `j` at all (a referenced controller can have
+    /// zero added load when a full-SDN switch has `γ_i = 0`). Out-of-range
+    /// controller ids in hand-written plans grow the tables on demand.
+    fn usage_tables(&self, scenario: &FailureScenario<'_>) -> (Vec<u32>, Vec<bool>) {
+        fn bump(used: &mut Vec<u32>, touched: &mut Vec<bool>, c: ControllerId, amount: u32) {
+            if c.index() >= used.len() {
+                used.resize(c.index() + 1, 0);
+                touched.resize(c.index() + 1, false);
+            }
+            used[c.index()] += amount;
+            touched[c.index()] = true;
+        }
         let net = scenario.network();
-        let mut usage: BTreeMap<ControllerId, u32> = BTreeMap::new();
+        let mut used = vec![0u32; net.controllers().len()];
+        let mut touched = vec![false; net.controllers().len()];
         for &s in &self.full_sdn {
             if let Some(&c) = self.mapping.get(&s) {
-                *usage.entry(c).or_insert(0) += net.gamma(s);
+                bump(&mut used, &mut touched, c, net.gamma(s));
             }
         }
         for (&(s, _), &c) in &self.sdn {
             if !self.full_sdn.contains(&s) {
-                *usage.entry(c).or_insert(0) += 1;
+                bump(&mut used, &mut touched, c, 1);
             }
         }
-        usage
+        (used, touched)
+    }
+
+    /// Dense per-controller load added by this plan, indexed by
+    /// `ControllerId` (length ≥ the network's controller count). The
+    /// allocation-light view [`PlanMetrics`](crate::PlanMetrics) reads.
+    pub(crate) fn controller_usage_dense(&self, scenario: &FailureScenario<'_>) -> Vec<u32> {
+        self.usage_tables(scenario).0
+    }
+
+    /// Control load this plan adds to each controller: `γ_i` for
+    /// whole-switch SDN switches, one unit per flow-level selection
+    /// elsewhere.
+    pub fn controller_usage(&self, scenario: &FailureScenario<'_>) -> BTreeMap<ControllerId, u32> {
+        let (used, touched) = self.usage_tables(scenario);
+        used.into_iter()
+            .zip(touched)
+            .enumerate()
+            .filter(|&(_, (_, t))| t)
+            .map(|(j, (u, _))| (ControllerId(j), u))
+            .collect()
     }
 
     /// Programmability flow `l` is recovered with under this plan
@@ -200,7 +232,6 @@ impl RecoveryPlan {
                 return Err(SdwanError::InvalidPlan(format!("{c} is not active")));
             }
         }
-        let offline_flows: BTreeSet<FlowId> = scenario.offline_flows().iter().copied().collect();
         for (&(s, l), &c) in &self.sdn {
             if !scenario.is_offline(s) {
                 return Err(SdwanError::InvalidPlan(format!(
@@ -212,7 +243,7 @@ impl RecoveryPlan {
                     "SDN pair ({s}, {l}) assigned to failed controller {c}"
                 )));
             }
-            if !offline_flows.contains(&l) {
+            if !scenario.is_offline_flow(l) {
                 return Err(SdwanError::InvalidPlan(format!(
                     "{l} is not an offline flow"
                 )));
@@ -243,7 +274,12 @@ impl RecoveryPlan {
                 )));
             }
         }
-        for (c, used) in self.controller_usage(scenario) {
+        let (used, touched) = self.usage_tables(scenario);
+        for (j, (&used, &touched)) in used.iter().zip(&touched).enumerate() {
+            if !touched {
+                continue;
+            }
+            let c = ControllerId(j);
             let avail = scenario.residual_capacity(c);
             if used > avail {
                 return Err(SdwanError::InvalidPlan(format!(

@@ -8,19 +8,19 @@
 //! path count from `s_i`, and `β_i^l = 1` iff that count is at least two.
 //! `p̄_i^l = β_i^l · p_i^l` is the quantity the objective sums.
 
+use crate::dest_counts::DestCounts;
+use crate::index::{FlowSwitchTable, IndexSpace};
 use crate::network::{FlowId, SdWan, SwitchId};
-use pm_topo::paths::PathCounts;
 use pm_topo::TopoCache;
-use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Precomputed programmability data for every flow of a network.
 #[derive(Debug, Clone)]
 pub struct Programmability {
     /// Per flow: the `(switch, p̄)` entries with `β = 1`, in path order.
     entries: Vec<Vec<(SwitchId, u32)>>,
-    /// Flat lookup `(flow, switch) → p̄` for `β = 1` pairs.
-    lookup: HashMap<(FlowId, SwitchId), u32>,
+    /// Dense row-major lookup `(flow, switch) → p̄`. Cells are 0 for
+    /// `β = 0` pairs (a `β = 1` entry always has `p̄ ≥ 2`).
+    lookup: FlowSwitchTable<u32>,
 }
 
 impl Programmability {
@@ -42,31 +42,23 @@ impl Programmability {
     /// # Ok::<(), pm_sdwan::SdwanError>(())
     /// ```
     pub fn compute(net: &SdWan) -> Self {
-        let mut by_dest: HashMap<SwitchId, Arc<PathCounts>> = HashMap::new();
-        Self::compute_inner(net, |flow_dst| {
-            Arc::clone(
-                by_dest.entry(flow_dst).or_insert_with(|| {
-                    Arc::new(PathCounts::toward(net.topology(), flow_dst.node()))
-                }),
-            )
-        })
+        Self::compute_with(net, &mut DestCounts::fresh(net.topology()))
     }
 
     /// Like [`Programmability::compute`], reusing (and populating) the
     /// path counts of `cache` instead of recomputing them. The result is
     /// identical to the uncached computation.
     pub fn compute_cached(net: &SdWan, cache: &TopoCache) -> Self {
-        Self::compute_inner(net, |flow_dst| cache.path_counts(flow_dst.node()))
+        Self::compute_with(net, &mut DestCounts::cached(cache))
     }
 
-    fn compute_inner(
-        net: &SdWan,
-        mut counts_toward: impl FnMut(SwitchId) -> Arc<PathCounts>,
-    ) -> Self {
+    /// The one computation both entry points share, parameterized over how
+    /// per-destination path counts are assembled (see [`DestCounts`]).
+    pub(crate) fn compute_with(net: &SdWan, dest_counts: &mut DestCounts<'_>) -> Self {
         let mut entries = Vec::with_capacity(net.flows().len());
-        let mut lookup = HashMap::new();
+        let mut lookup = IndexSpace::of(net).flow_switch_table(0u32);
         for (l, flow) in net.flows().iter().enumerate() {
-            let pc = counts_toward(flow.dst);
+            let pc = dest_counts.toward(flow.dst);
             let mut flow_entries = Vec::new();
             for &s in &flow.path {
                 if s == flow.dst {
@@ -76,7 +68,7 @@ impl Programmability {
                 if count >= 2 {
                     let pbar = count.min(u32::MAX as u64) as u32;
                     flow_entries.push((s, pbar));
-                    lookup.insert((FlowId(l), s), pbar);
+                    lookup.set(FlowId(l), s, pbar);
                 }
             }
             entries.push(flow_entries);
@@ -87,13 +79,14 @@ impl Programmability {
     /// `β_i^l`: can switch `s` reroute flow `l`? (`s` must be on the path
     /// and have ≥ 2 loop-free paths to the destination.)
     pub fn beta(&self, l: FlowId, s: SwitchId) -> bool {
-        self.lookup.contains_key(&(l, s))
+        self.pbar(l, s) != 0
     }
 
     /// `p̄_i^l = β_i^l · p_i^l`: the programmability flow `l` gains when
-    /// switch `s` routes it in SDN mode, or 0 when `β_i^l = 0`.
+    /// switch `s` routes it in SDN mode, or 0 when `β_i^l = 0`. O(1): one
+    /// dense row-major table read.
     pub fn pbar(&self, l: FlowId, s: SwitchId) -> u32 {
-        self.lookup.get(&(l, s)).copied().unwrap_or(0)
+        self.lookup.get(l, s).copied().unwrap_or(0)
     }
 
     /// The `(switch, p̄)` pairs with `β = 1` for flow `l`, in path order.

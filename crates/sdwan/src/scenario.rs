@@ -276,6 +276,11 @@ pub struct FailureScenario<'net> {
     active: Vec<ControllerId>,
     offline_switches: Vec<SwitchId>,
     offline_flows: Vec<FlowId>,
+    /// Dense per-switch offline mask, indexed by `SwitchId` — the O(1)
+    /// backing of [`FailureScenario::is_offline`].
+    offline_switch_mask: Vec<bool>,
+    /// Dense per-flow offline mask, indexed by `FlowId`.
+    offline_flow_mask: Vec<bool>,
     /// Residual capacity per controller id (`None` for failed controllers).
     residual: Vec<Option<u32>>,
     /// Nearest active controller per offline switch (the `α_ij` of Eq. (6)).
@@ -339,19 +344,22 @@ impl SdWan {
             .map(ControllerId)
             .collect();
 
+        let offline_switch_mask: Vec<bool> = (0..self.switch_count())
+            .map(|s| is_failed[self.domain[s].0])
+            .collect();
         let offline_switches: Vec<SwitchId> = (0..self.switch_count())
-            .filter(|&s| is_failed[self.domain[s].0])
+            .filter(|&s| offline_switch_mask[s])
             .map(SwitchId)
             .collect();
 
-        let mut offline = vec![false; self.flows.len()];
+        let mut offline_flow_mask = vec![false; self.flows.len()];
         for &s in &offline_switches {
             for &l in &self.flows_at[s.0] {
-                offline[l.0] = true;
+                offline_flow_mask[l.0] = true;
             }
         }
         let offline_flows: Vec<FlowId> = (0..self.flows.len())
-            .filter(|&l| offline[l])
+            .filter(|&l| offline_flow_mask[l])
             .map(FlowId)
             .collect();
 
@@ -381,6 +389,8 @@ impl SdWan {
             active,
             offline_switches,
             offline_flows,
+            offline_switch_mask,
+            offline_flow_mask,
             residual,
             nearest_active,
             ideal_delay_g,
@@ -414,9 +424,16 @@ impl<'net> FailureScenario<'net> {
         &self.offline_flows
     }
 
-    /// `true` if switch `s` is offline in this scenario.
+    /// `true` if switch `s` is offline in this scenario. O(1): a dense mask
+    /// lookup, indexed by switch id.
     pub fn is_offline(&self, s: SwitchId) -> bool {
-        self.offline_switches.binary_search(&s).is_ok()
+        s.0 < self.offline_switch_mask.len() && self.offline_switch_mask[s.0]
+    }
+
+    /// `true` if flow `l` traverses at least one offline switch. O(1): a
+    /// dense mask lookup, indexed by flow id.
+    pub fn is_offline_flow(&self, l: FlowId) -> bool {
+        l.0 < self.offline_flow_mask.len() && self.offline_flow_mask[l.0]
     }
 
     /// `true` if controller `c` survived.

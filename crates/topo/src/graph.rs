@@ -107,12 +107,31 @@ impl Edge {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Adjacency is stored in compressed-sparse-row (CSR) form: one flat
+/// `(neighbor, edge id)` array plus per-node offsets, so traversals iterate
+/// a contiguous slice per node instead of chasing a `Vec` per node. The CSR
+/// arrays are kept up to date on every mutation; reads never rebuild.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     nodes: Vec<NodeMeta>,
     edges: Vec<Edge>,
-    /// adjacency\[v\] = list of (neighbor, edge id), in insertion order.
-    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    /// CSR row starts: node `v`'s arcs live at `arcs[offsets[v]..offsets[v+1]]`.
+    /// Always has `nodes.len() + 1` entries; the last one is `arcs.len()`.
+    offsets: Vec<usize>,
+    /// CSR payload: `(neighbor, edge id)` pairs, per-node in edge insertion
+    /// order.
+    arcs: Vec<(NodeId, EdgeId)>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            offsets: vec![0],
+            arcs: Vec::new(),
+        }
+    }
 }
 
 impl Graph {
@@ -123,10 +142,13 @@ impl Graph {
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
         Graph {
             nodes: Vec::with_capacity(nodes),
             edges: Vec::new(),
-            adjacency: Vec::with_capacity(nodes),
+            offsets,
+            arcs: Vec::new(),
         }
     }
 
@@ -158,8 +180,19 @@ impl Graph {
             name: name.into(),
             position,
         });
-        self.adjacency.push(Vec::new());
+        self.offsets.push(self.arcs.len());
         id
+    }
+
+    /// Inserts `(to, e)` at the end of `from`'s CSR row, shifting the rows of
+    /// every later node. `O(V + E)` per call — graph construction is a
+    /// once-per-network cost, traded for contiguous hot-path traversal.
+    fn insert_arc(&mut self, from: NodeId, to: NodeId, e: EdgeId) {
+        let pos = self.offsets[from.0 + 1];
+        self.arcs.insert(pos, (to, e));
+        for off in &mut self.offsets[from.0 + 1..] {
+            *off += 1;
+        }
     }
 
     /// Adds an undirected edge between `a` and `b` with the given weight.
@@ -190,8 +223,8 @@ impl Graph {
         }
         let id = EdgeId(self.edges.len());
         self.edges.push(Edge { a, b, weight });
-        self.adjacency[a.0].push((b, id));
-        self.adjacency[b.0].push((a, id));
+        self.insert_arc(a, b, id);
+        self.insert_arc(b, a, id);
         Ok(id)
     }
 
@@ -272,13 +305,25 @@ impl Graph {
         &self.edges[e.0]
     }
 
+    /// The CSR adjacency row of `n`: `(neighbor, edge id)` pairs in edge
+    /// insertion order, as one contiguous slice. This is the hot-path
+    /// traversal primitive; [`Graph::neighbors`] and [`Graph::incident`] are
+    /// iterator views over the same row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn adjacency(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.arcs[self.offsets[n.0]..self.offsets[n.0 + 1]]
+    }
+
     /// Iterator over the neighbors of `n`, in edge insertion order.
     ///
     /// # Panics
     ///
     /// Panics if `n` is out of range.
     pub fn neighbors(&self, n: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.adjacency[n.0].iter().map(|&(v, _)| v)
+        self.adjacency(n).iter().map(|&(v, _)| v)
     }
 
     /// Iterator over `(neighbor, edge id)` pairs incident to `n`.
@@ -287,7 +332,7 @@ impl Graph {
     ///
     /// Panics if `n` is out of range.
     pub fn incident(&self, n: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
-        self.adjacency[n.0].iter().copied()
+        self.adjacency(n).iter().copied()
     }
 
     /// Degree of node `n`.
@@ -296,7 +341,7 @@ impl Graph {
     ///
     /// Panics if `n` is out of range.
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adjacency[n.0].len()
+        self.offsets[n.0 + 1] - self.offsets[n.0]
     }
 
     /// Looks up the edge between `a` and `b`, if any.
@@ -305,12 +350,12 @@ impl Graph {
             return None;
         }
         // Search from the lower-degree endpoint.
-        let (from, to) = if self.adjacency[a.0].len() <= self.adjacency[b.0].len() {
+        let (from, to) = if self.degree(a) <= self.degree(b) {
             (a, b)
         } else {
             (b, a)
         };
-        self.adjacency[from.0]
+        self.adjacency(from)
             .iter()
             .find(|&&(v, _)| v == to)
             .map(|&(_, e)| e)
@@ -373,7 +418,7 @@ impl Graph {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for &(u, _) in &self.adjacency[v.0] {
+            for &(u, _) in self.adjacency(v) {
                 if !seen[u.0] {
                     seen[u.0] = true;
                     count += 1;
@@ -550,6 +595,57 @@ mod tests {
     #[test]
     fn total_weight_sums_edges() {
         assert_eq!(triangle().total_weight(), 7.0);
+    }
+
+    /// Checks the CSR invariants: monotone offsets bracketing `arcs`, row
+    /// lengths matching degrees, and every arc mirroring a real edge.
+    fn assert_csr_consistent(g: &Graph) {
+        assert_eq!(g.offsets.len(), g.node_count() + 1);
+        assert_eq!(g.offsets[0], 0);
+        assert_eq!(*g.offsets.last().unwrap(), g.arcs.len());
+        assert!(g.offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(g.arcs.len(), 2 * g.edge_count());
+        for v in g.nodes() {
+            for &(u, e) in g.adjacency(v) {
+                let edge = g.edge(e);
+                assert_eq!(edge.other(v), u);
+            }
+        }
+        for (i, e) in g.edges().enumerate() {
+            let id = EdgeId(i);
+            assert!(g.adjacency(e.a).contains(&(e.b, id)));
+            assert!(g.adjacency(e.b).contains(&(e.a, id)));
+        }
+    }
+
+    #[test]
+    fn csr_invariants_hold_during_construction() {
+        let mut g = Graph::new();
+        assert_csr_consistent(&g);
+        for i in 0..6 {
+            g.add_node(format!("n{i}"), None);
+            assert_csr_consistent(&g);
+        }
+        // Interleave edges touching early and late nodes so arcs must be
+        // inserted mid-array, not just appended.
+        for (a, b) in [(0, 5), (2, 3), (0, 1), (4, 1), (5, 2), (3, 0)] {
+            g.add_edge(NodeId(a), NodeId(b), (a + b) as f64).unwrap();
+            assert_csr_consistent(&g);
+        }
+        // Rows keep edge insertion order.
+        let row0: Vec<NodeId> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(row0, vec![NodeId(5), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn adjacency_slice_matches_incident_iterator() {
+        let g = triangle();
+        for v in g.nodes() {
+            let slice: Vec<_> = g.adjacency(v).to_vec();
+            let iter: Vec<_> = g.incident(v).collect();
+            assert_eq!(slice, iter);
+            assert_eq!(g.degree(v), slice.len());
+        }
     }
 
     #[test]

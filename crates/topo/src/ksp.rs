@@ -66,7 +66,7 @@ fn dijkstra_filtered(
         if v == target {
             break;
         }
-        for (u, e) in g.incident(v) {
+        for &(u, e) in g.adjacency(v) {
             if banned_nodes[u.0] || banned_edges.iter().any(|&(a, b)| a == v && b == u) {
                 continue;
             }

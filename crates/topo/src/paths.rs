@@ -127,7 +127,7 @@ pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPathTree {
             continue;
         }
         done[v.0] = true;
-        for (u, e) in g.incident(v) {
+        for &(u, e) in g.adjacency(v) {
             let nd = d + g.edge(e).weight;
             if nd + EPS < dist[u.0] {
                 dist[u.0] = nd;
@@ -169,7 +169,7 @@ pub fn bfs_hops(g: &Graph, source: NodeId) -> Vec<usize> {
     hops[source.0] = 0;
     queue.push_back(source);
     while let Some(v) = queue.pop_front() {
-        for u in g.neighbors(v) {
+        for &(u, _) in g.adjacency(v) {
             if hops[u.0] == usize::MAX {
                 hops[u.0] = hops[v.0] + 1;
                 queue.push_back(u);
@@ -216,7 +216,7 @@ impl PathCounts {
                 continue;
             }
             let mut total: u64 = 0;
-            for u in g.neighbors(NodeId(v)) {
+            for &(u, _) in g.adjacency(NodeId(v)) {
                 if dist[u.0] + EPS < dist[v] {
                     total = total.saturating_add(counts[u.0]);
                 }
@@ -258,7 +258,10 @@ impl PathCounts {
     /// Panics if `v` is out of range.
     pub fn next_hops<'g>(&'g self, g: &'g Graph, v: NodeId) -> impl Iterator<Item = NodeId> + 'g {
         let dv = self.dist[v.0];
-        g.neighbors(v).filter(move |u| self.dist[u.0] + EPS < dv)
+        g.adjacency(v)
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(move |u| self.dist[u.0] + EPS < dv)
     }
 
     /// `true` if `v` can reroute: it has at least two loop-free paths to the
@@ -294,7 +297,7 @@ pub fn count_simple_paths(g: &Graph, s: NodeId, t: NodeId, max_hops: usize) -> u
             return 0;
         }
         let mut total = 0;
-        for u in g.neighbors(v) {
+        for &(u, _) in g.adjacency(v) {
             if !visited[u.0] {
                 visited[u.0] = true;
                 total += rec(g, u, t, left - 1, visited);

@@ -1,0 +1,188 @@
+//! Property tests for the dense index-space layout: the flat, arena-indexed
+//! tables (programmability lookup, `FmssmInstance` positions, plan
+//! validation) must agree everywhere with the ID-native reference semantics
+//! they replaced — sparse-map lookups that simply miss on unknown ids.
+//!
+//! Networks are random Waxman graphs with randomly placed controllers plus
+//! the paper's ATT setup; failure sets are random proper subsets of the
+//! controllers.
+
+use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, FlowId, NetCache, Programmability, SdWan, SdWanBuilder, SwitchId};
+use pm_topo::{builders, NodeId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random connected Waxman network with `m` controllers spread over the
+/// node set and all-pairs flows. Fully determined by its arguments.
+fn waxman_net(nodes: usize, m: usize, capacity: u32, seed: u64) -> SdWan {
+    let graph = builders::waxman(&builders::WaxmanParams {
+        nodes,
+        seed,
+        ..Default::default()
+    })
+    .expect("valid waxman parameters");
+    let mut b = SdWanBuilder::new(graph).allow_overload();
+    for i in 0..m {
+        b = b.controller(NodeId(i * nodes / m), capacity);
+    }
+    b.all_pairs_flows().build().expect("network builds")
+}
+
+/// A failure set of `k` distinct controllers starting at `start` (mod `m`),
+/// leaving at least one survivor.
+fn failure_set(m: usize, k: usize, start: usize) -> Vec<ControllerId> {
+    (0..k.min(m - 1))
+        .map(|i| ControllerId((start + i) % m))
+        .collect()
+}
+
+/// The legacy view of the programmability table: a sparse map holding only
+/// the β = 1 entries, any other key reading as absent.
+fn sparse_reference(net: &SdWan, prog: &Programmability) -> HashMap<(FlowId, SwitchId), u32> {
+    let mut map = HashMap::new();
+    for l in 0..net.flows().len() {
+        let l = FlowId(l);
+        for &(s, pbar) in prog.flow_entries(l) {
+            map.insert((l, s), pbar);
+        }
+    }
+    map
+}
+
+/// Flat-table lookups must agree with the sparse reference on the whole
+/// id universe *and* beyond it (out-of-range ids read as absent, exactly
+/// like a map miss).
+fn assert_table_matches_reference(net: &SdWan, prog: &Programmability) {
+    let reference = sparse_reference(net, prog);
+    for l in 0..net.flows().len() + 2 {
+        let l = FlowId(l);
+        for s in 0..net.switch_count() + 2 {
+            let s = SwitchId(s);
+            let want = reference.get(&(l, s)).copied().unwrap_or(0);
+            assert_eq!(prog.pbar(l, s), want, "pbar mismatch at ({l:?}, {s:?})");
+            assert_eq!(
+                prog.beta(l, s),
+                want != 0,
+                "beta mismatch at ({l:?}, {s:?})"
+            );
+        }
+    }
+}
+
+/// Instances built with and without the [`NetCache`] must expose identical
+/// dense views, and every positional table must round-trip through the ids.
+fn assert_instance_consistent(net: &SdWan, failed: &[ControllerId]) {
+    let prog = Programmability::compute(net);
+    let cache = NetCache::build(net);
+    let plain_sc = net.fail(failed).expect("valid failure set");
+    let cached_sc = net.fail_cached(failed, &cache).expect("valid failure set");
+    let plain = FmssmInstance::new(&plain_sc, &prog);
+    let cached = FmssmInstance::with_cache(&cached_sc, cache.programmability(), &cache);
+
+    assert_eq!(plain.switches(), cached.switches());
+    assert_eq!(plain.flows(), cached.flows());
+    assert_eq!(plain.controllers(), cached.controllers());
+    assert_eq!(plain.residuals(), cached.residuals());
+    for ip in 0..plain.switches().len() {
+        assert_eq!(plain.switch_entries(ip), cached.switch_entries(ip));
+        assert_eq!(plain.gamma(ip), cached.gamma(ip));
+        assert_eq!(
+            plain.controllers_by_delay(ip),
+            cached.controllers_by_delay(ip)
+        );
+        assert_eq!(plain.switch_position(plain.switches()[ip]), Some(ip));
+    }
+    for lp in 0..plain.flows().len() {
+        assert_eq!(plain.flow_entries(lp), cached.flow_entries(lp));
+        assert_eq!(plain.flow_position(plain.flows()[lp]), Some(lp));
+    }
+    for (jp, &c) in plain.controllers().iter().enumerate() {
+        assert_eq!(plain.controller_position(c), Some(jp));
+        assert_eq!(cached.controller_position(c), Some(jp));
+    }
+    for &c in failed {
+        assert_eq!(
+            plain.controller_position(c),
+            None,
+            "failed {c:?} has no position"
+        );
+    }
+}
+
+/// Every heuristic must produce the same (valid) plan from the cached and
+/// uncached instance builds.
+fn assert_plans_agree(net: &SdWan, failed: &[ControllerId]) {
+    let prog = Programmability::compute(net);
+    let cache = NetCache::build(net);
+    let plain_sc = net.fail(failed).expect("valid failure set");
+    let cached_sc = net.fail_cached(failed, &cache).expect("valid failure set");
+    let plain = FmssmInstance::new(&plain_sc, &prog);
+    let cached = FmssmInstance::with_cache(&cached_sc, cache.programmability(), &cache);
+    let algos: [&dyn RecoveryAlgorithm; 3] = [&Pm::new(), &RetroFlow::new(), &Pg::new()];
+    for algo in algos {
+        let a = algo.recover(&plain).expect("recovers");
+        let b = algo.recover(&cached).expect("recovers");
+        assert_eq!(a, b, "{} plan differs cached vs uncached", algo.name());
+        a.validate(&plain_sc, &prog, algo.is_flow_level())
+            .expect("valid plan");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn programmability_table_matches_sparse_reference(
+        nodes in 8usize..=14,
+        m in 2usize..=4,
+        capacity in 50u32..=300,
+        seed in 0u64..10_000,
+    ) {
+        let net = waxman_net(nodes, m, capacity, seed);
+        assert_table_matches_reference(&net, &Programmability::compute(&net));
+        // The cached compute fills the identical table.
+        let cache = NetCache::build(&net);
+        assert_table_matches_reference(&net, cache.programmability());
+    }
+
+    #[test]
+    fn instance_fields_agree_on_random_networks(
+        nodes in 8usize..=14,
+        m in 2usize..=4,
+        capacity in 50u32..=300,
+        seed in 0u64..10_000,
+        k in 1usize..=3,
+        start in 0usize..4,
+    ) {
+        let net = waxman_net(nodes, m, capacity, seed);
+        assert_instance_consistent(&net, &failure_set(m, k, start));
+    }
+
+    #[test]
+    fn heuristic_plans_agree_on_random_networks(
+        nodes in 8usize..=12,
+        m in 2usize..=4,
+        capacity in 50u32..=300,
+        seed in 0u64..10_000,
+        k in 1usize..=3,
+        start in 0usize..4,
+    ) {
+        let net = waxman_net(nodes, m, capacity, seed);
+        assert_plans_agree(&net, &failure_set(m, k, start));
+    }
+}
+
+#[test]
+fn att_setup_agrees_end_to_end() {
+    let net = SdWanBuilder::att_paper_setup()
+        .build()
+        .expect("paper setup");
+    assert_table_matches_reference(&net, &Programmability::compute(&net));
+    let m = net.controllers().len();
+    for k in 1..=3 {
+        let failed = failure_set(m, k, k);
+        assert_instance_consistent(&net, &failed);
+        assert_plans_agree(&net, &failed);
+    }
+}

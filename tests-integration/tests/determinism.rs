@@ -7,8 +7,8 @@
 //! Runs on a small generated topology (3×4 grid, four controllers) so the
 //! full k = 1..=3 sweep stays fast in debug builds.
 
-use pm_bench::figures::{build_panels, metrics_report};
-use pm_bench::{EvalOptions, SweepEngine};
+use pm_bench::figures::{bench_sweep_json, build_panels, metrics_report};
+use pm_bench::{CaseResult, EvalOptions, SweepEngine};
 use pm_sdwan::{SdWan, SdWanBuilder};
 use pm_topo::{builders, NodeId};
 
@@ -66,6 +66,55 @@ fn repeated_parallel_sweeps_agree() {
     let first = metric_tables(&net, 8);
     let second = metric_tables(&net, 8);
     assert_eq!(first, second, "two jobs=8 runs must agree byte-for-byte");
+}
+
+/// Blanks the wall-clock numbers and the worker count out of a
+/// `BENCH_sweep.json` body, leaving only the schema skeleton.
+fn mask_timings(json: &str) -> String {
+    json.lines()
+        .map(
+            |line| match (line.find("\"mean_ms\""), line.find("\"cases\"")) {
+                (Some(a), Some(b)) => format!("{}{}", &line[..a], &line[b..]),
+                _ if line.trim_start().starts_with("\"jobs\":") => "  \"jobs\": _,".to_string(),
+                _ => line.to_string(),
+            },
+        )
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn bench_sweep_json_schema_is_pinned_and_schedule_independent() {
+    let net = small_net();
+    let json_of = |jobs: usize| {
+        let engine = SweepEngine::new(&net, options(jobs));
+        let sweeps: Vec<(usize, Vec<CaseResult>)> = (1..=3).map(|k| (k, engine.sweep(k))).collect();
+        let refs: Vec<(usize, &[CaseResult])> =
+            sweeps.iter().map(|(k, c)| (*k, c.as_slice())).collect();
+        bench_sweep_json("determinism", jobs, &refs)
+    };
+    let serial = json_of(1);
+    let parallel = json_of(8);
+
+    // Schema fields and layout are pinned — downstream tooling reads them.
+    assert!(serial.starts_with("{\n  \"schema_version\": 1,\n"));
+    assert!(serial.contains("  \"figure\": \"determinism\",\n"));
+    assert!(serial.contains("  \"jobs\": 1,\n"));
+    assert!(serial.contains("      \"failures\": 1,\n"));
+    assert!(serial.contains("      \"failures\": 3,\n"));
+    for algo in ["RetroFlow", "PM", "PG"] {
+        assert!(
+            serial.contains(&format!("{{\"name\": \"{algo}\", \"mean_ms\": ")),
+            "missing algorithm record for {algo}"
+        );
+    }
+    assert!(serial.contains("\"p95_ms\": "));
+    assert!(serial.contains("\"max_ms\": "));
+    assert!(serial.trim_end().ends_with('}'));
+
+    // Everything but the wall-clock measurements (and the jobs count
+    // itself) must be byte-identical across schedules.
+    assert_eq!(mask_timings(&serial), mask_timings(&parallel));
 }
 
 #[test]
