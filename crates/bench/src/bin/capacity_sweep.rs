@@ -78,4 +78,5 @@ fn main() {
         render_table(&["capacity", "residual", "RetroFlow", "PM", "PG"], &rows)
     );
     println!("\n(paper operating point: capacity 500)");
+    opts.export_observability();
 }

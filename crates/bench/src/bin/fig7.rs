@@ -6,7 +6,7 @@
 //! (mean / p95 / max per algorithm and failure count) instead — the mode
 //! used to measure the sweep engine itself.
 //!
-//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]`
+//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR] [--trace FILE] [--metrics FILE]`
 
 use pm_bench::figures::{timing_rows, write_bench_sweep_json, TIMING_HEADERS};
 use pm_bench::harness::EvalOptions;
@@ -23,6 +23,7 @@ fn main() {
 
     if opts.skip_optimal {
         heuristic_timing(&engine, &opts);
+        opts.export_observability();
         return;
     }
 
@@ -43,6 +44,15 @@ fn main() {
                 optimal.proved_optimal.unwrap_or(false).to_string(),
             ]);
             ratios.push(ratio);
+        }
+        if ratios.is_empty() {
+            rows.push(vec![
+                format!("{k} failure(s)"),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ]);
+            continue;
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let max = ratios.iter().cloned().fold(0.0f64, f64::max);
@@ -80,6 +90,7 @@ fn main() {
             &csv_rows,
         );
     }
+    opts.export_observability();
 }
 
 /// The `--skip-optimal` mode: absolute heuristic timing over all 41 cases.

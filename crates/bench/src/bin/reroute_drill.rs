@@ -139,4 +139,5 @@ fn main() {
             report.moves.len()
         );
     }
+    engine.options().export_observability();
 }

@@ -135,4 +135,5 @@ fn main() {
         scr_total_sum as f64 / n,
         100.0 * inc_total_sum as f64 / scr_total_sum.max(1) as f64,
     );
+    opts.export_observability();
 }

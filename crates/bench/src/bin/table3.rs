@@ -67,4 +67,5 @@ fn main() {
     if let Some(dir) = &opts.csv_dir {
         write_csv(dir, "table3", &headers, &rows);
     }
+    opts.export_observability();
 }

@@ -168,6 +168,10 @@ pub fn metrics_report(
             opts.optimal_time_limit
         );
     }
+    if cases.is_empty() {
+        let _ = writeln!(out, "no failure cases to report");
+        return out;
+    }
     out.push('\n');
     for (title, rows) in &panels {
         let _ = writeln!(out, "{title}");
@@ -201,6 +205,9 @@ pub fn metrics_report(
 /// algorithm). These are wall-clock measurements: they vary run to run
 /// and contend for cores at `--jobs` above 1.
 pub fn timing_report(cases: &[CaseResult]) -> String {
+    if cases.is_empty() {
+        return "\nper-case computation time: no cases ran\n".to_string();
+    }
     let rows = timing_rows(cases);
     let mut out = String::new();
     out.push_str("\nper-case computation time (wall clock; varies run to run)\n");
@@ -233,12 +240,44 @@ pub fn timing_rows(cases: &[CaseResult]) -> Vec<Vec<String>> {
 /// JSON is hand-formatted here — field order and layout are part of the
 /// schema and pinned by the determinism tests.
 pub fn bench_sweep_json(figure: &str, jobs: usize, sweeps: &[(usize, &[CaseResult])]) -> String {
+    bench_sweep_json_with_phases(figure, jobs, sweeps, None)
+}
+
+/// [`bench_sweep_json`] with an optional `phase_breakdown` section built
+/// from a [`pm_obs`] snapshot: per-span aggregate count / total / max
+/// nanoseconds. The section is present only when a snapshot with recorded
+/// spans is supplied, so default (recorder-off) runs keep the exact layout
+/// of schema version 1.
+pub fn bench_sweep_json_with_phases(
+    figure: &str,
+    jobs: usize,
+    sweeps: &[(usize, &[CaseResult])],
+    phases: Option<&pm_obs::Snapshot>,
+) -> String {
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema_version\": 1,");
     let _ = writeln!(out, "  \"figure\": \"{figure}\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
+    if let Some(snap) = phases {
+        if !snap.spans.is_empty() {
+            out.push_str("  \"phase_breakdown\": {\n");
+            for (i, s) in snap.spans.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                    s.name, s.count, s.total_ns, s.max_ns
+                );
+                out.push_str(if i + 1 < snap.spans.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  },\n");
+        }
+    }
     out.push_str("  \"sweeps\": [\n");
     for (si, (k, cases)) in sweeps.iter().enumerate() {
         out.push_str("    {\n");
@@ -274,7 +313,10 @@ pub fn bench_sweep_json(figure: &str, jobs: usize, sweeps: &[(usize, &[CaseResul
 /// (or the working directory when `--csv` was not given). Errors are
 /// reported to stderr but not fatal, like the CSV writers.
 pub fn write_bench_sweep_json(opts: &EvalOptions, figure: &str, sweeps: &[(usize, &[CaseResult])]) {
-    let body = bench_sweep_json(figure, opts.jobs, sweeps);
+    // With the recorder on, fold the span aggregates into the baseline
+    // file; recorder-off runs emit the schema-1 layout unchanged.
+    let snap = pm_obs::enabled().then(pm_obs::snapshot);
+    let body = bench_sweep_json_with_phases(figure, opts.jobs, sweeps, snap.as_ref());
     let dir = opts
         .csv_dir
         .clone()
@@ -328,6 +370,7 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
         );
     }
     write_bench_sweep_json(opts, fig_name, &[(k, cases.as_slice())]);
+    opts.export_observability();
 }
 
 #[cfg(test)]
@@ -373,5 +416,56 @@ mod tests {
         let rows = timing_rows(&quick_cases(2));
         let names: Vec<&str> = rows.iter().map(|r| r[0].as_str()).collect();
         assert_eq!(names, vec!["RetroFlow", "PM", "PG"]);
+    }
+
+    #[test]
+    fn empty_case_list_reports_gracefully() {
+        // A sweep can legitimately produce no cases (k > controller
+        // count); every report path must cope without panicking.
+        let opts = EvalOptions {
+            skip_optimal: true,
+            ..Default::default()
+        };
+        let metrics = metrics_report(&[], 7, "figX", false, &opts);
+        assert!(metrics.contains("0 case(s)"));
+        assert!(metrics.contains("no failure cases to report"));
+        let timing = timing_report(&[]);
+        assert!(timing.contains("no cases ran"));
+        assert!(timing_rows(&[]).is_empty());
+        let json = bench_sweep_json("figX", 1, &[(7, &[])]);
+        pm_obs::json::validate(&json).expect("valid JSON for an empty sweep");
+    }
+
+    #[test]
+    fn bench_sweep_json_phase_breakdown_is_valid_json() {
+        let cases = quick_cases(1);
+        let snap = pm_obs::Snapshot {
+            spans: vec![
+                pm_obs::SpanAgg {
+                    name: "pm.recover",
+                    count: 6,
+                    total_ns: 120,
+                    max_ns: 40,
+                },
+                pm_obs::SpanAgg {
+                    name: "sweep.case",
+                    count: 6,
+                    total_ns: 600,
+                    max_ns: 150,
+                },
+            ],
+            ..Default::default()
+        };
+        let json = bench_sweep_json_with_phases("fig4", 2, &[(1, &cases)], Some(&snap));
+        pm_obs::json::validate(&json).expect("valid JSON with phase_breakdown");
+        assert!(json.contains("\"phase_breakdown\""));
+        assert!(json.contains("\"pm.recover\": {\"count\": 6"));
+        // The empty snapshot adds nothing: layout stays schema-1.
+        let plain = bench_sweep_json("fig4", 2, &[(1, &cases)]);
+        let empty = pm_obs::Snapshot::default();
+        assert_eq!(
+            bench_sweep_json_with_phases("fig4", 2, &[(1, &cases)], Some(&empty)),
+            plain
+        );
     }
 }

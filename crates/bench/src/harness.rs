@@ -19,6 +19,12 @@ pub struct EvalOptions {
     /// cores). Metric output is identical for every value; per-case
     /// wall-clock measurements contend for cores at higher counts.
     pub jobs: usize,
+    /// Write a Chrome `trace_event` JSON file here at exit (`--trace
+    /// FILE`). Implies enabling the [`pm_obs`] recorder.
+    pub trace_path: Option<std::path::PathBuf>,
+    /// Write the aggregated metrics JSON file here at exit (`--metrics
+    /// FILE`). Implies enabling the [`pm_obs`] recorder.
+    pub metrics_path: Option<std::path::PathBuf>,
 }
 
 impl Default for EvalOptions {
@@ -28,6 +34,8 @@ impl Default for EvalOptions {
             skip_optimal: false,
             csv_dir: None,
             jobs: crate::par::default_jobs(),
+            trace_path: None,
+            metrics_path: None,
         }
     }
 }
@@ -66,10 +74,29 @@ impl EvalOptions {
                     });
                     opts.csv_dir = Some(dir.into());
                 }
+                "--trace" => {
+                    let file = args.next().unwrap_or_else(|| {
+                        eprintln!("--trace needs a file argument");
+                        std::process::exit(2);
+                    });
+                    opts.trace_path = Some(file.into());
+                    pm_obs::enable();
+                }
+                "--metrics" => {
+                    let file = args.next().unwrap_or_else(|| {
+                        eprintln!("--metrics needs a file argument");
+                        std::process::exit(2);
+                    });
+                    opts.metrics_path = Some(file.into());
+                    pm_obs::enable();
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
-                         regenerates one of the paper's evaluation artifacts"
+                         \x20        [--trace FILE] [--metrics FILE]\n\
+                         regenerates one of the paper's evaluation artifacts;\n\
+                         --trace writes a Chrome trace_event JSON (chrome://tracing, Perfetto)\n\
+                         --metrics writes aggregated counters/histograms/span totals as JSON"
                     );
                     std::process::exit(0);
                 }
@@ -80,6 +107,29 @@ impl EvalOptions {
             }
         }
         opts
+    }
+
+    /// Writes the `--trace` / `--metrics` files from the recorder's
+    /// current state, if either flag was given. Call once, after all
+    /// measured work; a no-op when neither flag is set.
+    ///
+    /// Failures are reported on stderr but do not abort: telemetry export
+    /// must never take down a finished run.
+    pub fn export_observability(&self) {
+        if let Some(path) = &self.trace_path {
+            if let Err(e) = pm_obs::write_chrome_trace(path) {
+                eprintln!("warning: could not write trace {}: {e}", path.display());
+            } else {
+                eprintln!("trace written to {}", path.display());
+            }
+        }
+        if let Some(path) = &self.metrics_path {
+            if let Err(e) = pm_obs::write_metrics(path) {
+                eprintln!("warning: could not write metrics {}: {e}", path.display());
+            } else {
+                eprintln!("metrics written to {}", path.display());
+            }
+        }
     }
 }
 
@@ -167,11 +217,13 @@ pub(crate) fn run_algorithms(
         Box::new(Pg::new()),
     ];
     for algo in &heuristics {
+        let algo_span = pm_obs::span_labeled("bench.algo", algo.name());
         let start = Instant::now();
         let plan = algo
             .recover(inst)
             .expect("heuristics always produce a plan");
         let elapsed = start.elapsed();
+        drop(algo_span);
         plan.validate(scenario, prog, algo.is_flow_level())
             .expect("plan must be valid");
         let metrics = PlanMetrics::compute(scenario, prog, &plan, algo.middle_layer_ms());
@@ -186,6 +238,7 @@ pub(crate) fn run_algorithms(
     }
 
     if !opts.skip_optimal {
+        let _algo_span = pm_obs::span_labeled("bench.algo", "Optimal");
         let solver = Optimal::new().time_limit(opts.optimal_time_limit);
         let out = solver
             .solve_detailed(inst)

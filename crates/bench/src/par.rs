@@ -49,14 +49,41 @@ where
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        for w in 0..jobs {
+            let (next, slots, f) = (&next, &slots, &f);
+            scope.spawn(move || {
+                let obs = pm_obs::enabled();
+                if obs {
+                    pm_obs::set_thread_label(format!("sweep-worker-{w}"));
                 }
-                let r = f(i, &items[i]);
-                slots.lock().expect("no poisoned worker")[i] = Some(r);
+                // "Queue wait" is the gap between useful work items on this
+                // worker: dispatch plus the result-slot lock of the
+                // previous item. It bounds the merge/dispatch overhead the
+                // engine adds on top of the algorithms themselves.
+                let mut idle_since = obs.then(std::time::Instant::now);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if let Some(t0) = idle_since {
+                        pm_obs::observe(
+                            "sweep.queue_wait_ns",
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
+                    let busy_t0 = obs.then(std::time::Instant::now);
+                    let r = f(i, &items[i]);
+                    if let Some(t0) = busy_t0 {
+                        pm_obs::count(
+                            format!("sweep.worker.{w}.busy_ns"),
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        pm_obs::count(format!("sweep.worker.{w}.cases"), 1);
+                    }
+                    slots.lock().expect("no poisoned worker")[i] = Some(r);
+                    idle_since = obs.then(std::time::Instant::now);
+                }
             });
         }
     });
@@ -138,12 +165,17 @@ impl<'net> SweepEngine<'net> {
     /// Panics if the case is invalid or an algorithm produces an invalid
     /// plan — both indicate bugs, not data errors.
     pub fn run_case(&self, failed: &[ControllerId]) -> CaseResult {
+        let label = case_label(self.net, failed);
+        let _span = pm_obs::span_labeled("sweep.case", label.clone());
         let scenario = self.scenario(failed).expect("valid failure case");
         let inst = FmssmInstance::with_cache(&scenario, self.cache.programmability(), &self.cache);
         let runs = run_algorithms(&scenario, self.cache.programmability(), &inst, &self.opts);
+        if pm_obs::enabled() {
+            pm_obs::count("sweep.cases", 1);
+        }
         CaseResult {
             failed: failed.to_vec(),
-            label: case_label(self.net, failed),
+            label,
             runs,
         }
     }

@@ -24,7 +24,9 @@ use pm_sdwan::{
     RecoveryPlan, SdWan, SdWanBuilder,
 };
 use pm_simctl::{RecoveryTiming, SimTime, Simulation};
+use std::ffi::{OsStr, OsString};
 use std::io::Write;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// A CLI failure: exit code plus message.
@@ -73,11 +75,16 @@ network options (default: the paper's ATT setup):
   --graphml FILE       load a Topology Zoo GraphML file
   --controllers K      place K controllers by k-center (default 6)
   --capacity C         per-controller capacity (default: auto-sized)
+
+observability (any command):
+  --trace FILE         write a Chrome trace_event JSON of the run
+                       (open in chrome://tracing or Perfetto)
+  --metrics FILE       write aggregated counters/histograms/spans as JSON
 ";
 
 /// Parsed network selection.
 struct NetworkSpec {
-    graphml: Option<String>,
+    graphml: Option<PathBuf>,
     controllers: usize,
     capacity: Option<u32>,
 }
@@ -85,22 +92,35 @@ struct NetworkSpec {
 /// Runs the CLI against `args` (without the program name), writing human
 /// output to `out`.
 ///
+/// Arguments are [`OsString`]s so file paths pass through losslessly —
+/// a non-UTF-8 temp directory cannot panic the CLI. Flags whose values
+/// are *names or numbers* (not paths) still must be valid UTF-8.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] carrying the exit code and message.
-pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    // Observability flags are global: valid on every command, harvested
+    // before dispatch so each command's own flag parsing never sees them.
+    let trace_path = take_flag(&mut args, "--trace")?.map(PathBuf::from);
+    let metrics_path = take_flag(&mut args, "--metrics")?.map(PathBuf::from);
+    if trace_path.is_some() || metrics_path.is_some() {
+        pm_obs::enable();
+    }
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE));
     };
-    let rest = &args[1..];
-    match command.as_str() {
-        "topology" => cmd_topology(rest, out),
-        "plan" => cmd_plan(rest, out),
-        "check" => cmd_check(rest, out),
-        "compare" => cmd_compare(rest, out),
-        "simulate" => cmd_simulate(rest, out),
-        "relieve" => cmd_relieve(rest, out),
-        "inspect" => cmd_inspect(rest, out),
+    let command = command.to_string_lossy().into_owned();
+    let rest = args[1..].to_vec();
+    let result = match command.as_str() {
+        "topology" => cmd_topology(&rest, out),
+        "plan" => cmd_plan(&rest, out),
+        "check" => cmd_check(&rest, out),
+        "compare" => cmd_compare(&rest, out),
+        "simulate" => cmd_simulate(&rest, out),
+        "relieve" => cmd_relieve(&rest, out),
+        "inspect" => cmd_inspect(&rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -108,12 +128,26 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         other => Err(CliError::usage(format!(
             "unknown command {other}\n\n{USAGE}"
         ))),
+    };
+    // Telemetry is exported even when the command failed — a trace of a
+    // failed run is exactly what one wants to look at.
+    if let Some(path) = &trace_path {
+        pm_obs::write_chrome_trace(path)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        let _ = writeln!(out, "trace written to {}", path.display());
     }
+    if let Some(path) = &metrics_path {
+        pm_obs::write_metrics(path)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        let _ = writeln!(out, "metrics written to {}", path.display());
+    }
+    result
 }
 
-/// Pulls `--flag value` out of `args`; returns the remaining args.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
-    if let Some(pos) = args.iter().position(|a| a == flag) {
+/// Pulls `--flag value` out of `args` losslessly (paths keep whatever
+/// bytes the OS gave us); returns the remaining args.
+fn take_flag(args: &mut Vec<OsString>, flag: &str) -> Result<Option<OsString>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a.as_os_str() == OsStr::new(flag)) {
         if pos + 1 >= args.len() {
             return Err(CliError::usage(format!("{flag} needs a value")));
         }
@@ -125,9 +159,22 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliEr
     }
 }
 
+/// Pulls `--flag value` out of `args` for values that must be text
+/// (numbers, algorithm names, failure lists) — a non-UTF-8 value is a
+/// usage error, not a panic.
+fn take_str_flag(args: &mut Vec<OsString>, flag: &str) -> Result<Option<String>, CliError> {
+    match take_flag(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .into_string()
+            .map(Some)
+            .map_err(|bad| CliError::usage(format!("{flag}: value {bad:?} is not valid UTF-8"))),
+    }
+}
+
 /// Pulls a boolean `--flag` out of `args`.
-fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(pos) = args.iter().position(|a| a == flag) {
+fn take_switch(args: &mut Vec<OsString>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a.as_os_str() == OsStr::new(flag)) {
         args.remove(pos);
         true
     } else {
@@ -135,15 +182,15 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn parse_network(args: &mut Vec<String>) -> Result<NetworkSpec, CliError> {
-    let graphml = take_flag(args, "--graphml")?;
-    let controllers = match take_flag(args, "--controllers")? {
+fn parse_network(args: &mut Vec<OsString>) -> Result<NetworkSpec, CliError> {
+    let graphml = take_flag(args, "--graphml")?.map(PathBuf::from);
+    let controllers = match take_str_flag(args, "--controllers")? {
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("--controllers: bad number {v}")))?,
         None => 6,
     };
-    let capacity = match take_flag(args, "--capacity")? {
+    let capacity = match take_str_flag(args, "--capacity")? {
         Some(v) => Some(
             v.parse()
                 .map_err(|_| CliError::usage(format!("--capacity: bad number {v}")))?,
@@ -164,7 +211,7 @@ fn build_network(spec: &NetworkSpec) -> Result<SdWan, CliError> {
             .map_err(|e| CliError::runtime(format!("cannot build paper network: {e}"))),
         Some(path) => {
             let g = pm_topo::zoo::load_graphml_file(path)
-                .map_err(|e| CliError::runtime(format!("cannot load {path}: {e}")))?;
+                .map_err(|e| CliError::runtime(format!("cannot load {}: {e}", path.display())))?;
             let sites = place_controllers(&g, spec.controllers, PlacementStrategy::KCenter)
                 .map_err(|e| CliError::runtime(format!("placement failed: {e}")))?;
             // Auto-size capacity: probe loads, then add 10 % headroom.
@@ -193,8 +240,8 @@ fn build_network(spec: &NetworkSpec) -> Result<SdWan, CliError> {
 }
 
 /// Parses `--fail 13,20` (node ids) into controller ids of `net`.
-fn parse_failures(net: &SdWan, args: &mut Vec<String>) -> Result<Vec<ControllerId>, CliError> {
-    let Some(spec) = take_flag(args, "--fail")? else {
+fn parse_failures(net: &SdWan, args: &mut Vec<OsString>) -> Result<Vec<ControllerId>, CliError> {
+    let Some(spec) = take_str_flag(args, "--fail")? else {
         return Err(CliError::usage("--fail is required (e.g. --fail 13,20)"));
     };
     let mut failed = Vec::new();
@@ -218,8 +265,8 @@ fn parse_failures(net: &SdWan, args: &mut Vec<String>) -> Result<Vec<ControllerI
     Ok(failed)
 }
 
-fn parse_algo(args: &mut Vec<String>) -> Result<String, CliError> {
-    Ok(take_flag(args, "--algo")?.unwrap_or_else(|| "pm".into()))
+fn parse_algo(args: &mut Vec<OsString>) -> Result<String, CliError> {
+    Ok(take_str_flag(args, "--algo")?.unwrap_or_else(|| "pm".into()))
 }
 
 fn make_algo(name: &str, opt_secs: u64) -> Result<Box<dyn RecoveryAlgorithm>, CliError> {
@@ -239,8 +286,8 @@ fn make_algo(name: &str, opt_secs: u64) -> Result<Box<dyn RecoveryAlgorithm>, Cl
     }
 }
 
-fn parse_opt_secs(args: &mut Vec<String>) -> Result<u64, CliError> {
-    match take_flag(args, "--opt-secs")? {
+fn parse_opt_secs(args: &mut Vec<OsString>) -> Result<u64, CliError> {
+    match take_str_flag(args, "--opt-secs")? {
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("--opt-secs: bad number {v}"))),
@@ -248,7 +295,7 @@ fn parse_opt_secs(args: &mut Vec<String>) -> Result<u64, CliError> {
     }
 }
 
-fn ensure_consumed(args: &[String]) -> Result<(), CliError> {
+fn ensure_consumed(args: &[OsString]) -> Result<(), CliError> {
     if args.is_empty() {
         Ok(())
     } else {
@@ -256,7 +303,7 @@ fn ensure_consumed(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-fn cmd_topology(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_topology(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     ensure_consumed(&args)?;
@@ -349,15 +396,15 @@ fn print_metrics(out: &mut dyn Write, m: &PlanMetrics) {
     }
 }
 
-fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_plan(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
     let failed = parse_failures(&net, &mut args)?;
     let algo_name = parse_algo(&mut args)?;
     let opt_secs = parse_opt_secs(&mut args)?;
-    let out_file = take_flag(&mut args, "--out")?;
-    let lp_file = take_flag(&mut args, "--export-lp")?;
+    let out_file = take_flag(&mut args, "--out")?.map(PathBuf::from);
+    let lp_file = take_flag(&mut args, "--export-lp")?.map(PathBuf::from);
     ensure_consumed(&args)?;
 
     let algo = make_algo(&algo_name, opt_secs)?;
@@ -370,8 +417,12 @@ fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(path) = lp_file {
         let lp = Optimal::new().export_lp(&inst);
         std::fs::write(&path, lp)
-            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
-        let _ = writeln!(out, "FMSSM program P' written to {path} (CPLEX LP format)");
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        let _ = writeln!(
+            out,
+            "FMSSM program P' written to {} (CPLEX LP format)",
+            path.display()
+        );
     }
     let plan = algo
         .recover(&inst)
@@ -384,8 +435,8 @@ fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match out_file {
         Some(path) => {
             std::fs::write(&path, plan.to_text())
-                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
-            let _ = writeln!(out, "plan written to {path}");
+                .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+            let _ = writeln!(out, "plan written to {}", path.display());
         }
         None => {
             let _ = writeln!(out, "--- plan ---\n{}", plan.to_text());
@@ -394,20 +445,20 @@ fn cmd_plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_check(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_check(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
     let failed = parse_failures(&net, &mut args)?;
-    let Some(plan_file) = take_flag(&mut args, "--plan")? else {
+    let Some(plan_file) = take_flag(&mut args, "--plan")?.map(PathBuf::from) else {
         return Err(CliError::usage("--plan FILE is required"));
     };
     ensure_consumed(&args)?;
 
     let text = std::fs::read_to_string(&plan_file)
-        .map_err(|e| CliError::runtime(format!("cannot read {plan_file}: {e}")))?;
+        .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", plan_file.display())))?;
     let plan = RecoveryPlan::from_text(&text)
-        .map_err(|e| CliError::runtime(format!("cannot parse {plan_file}: {e}")))?;
+        .map_err(|e| CliError::runtime(format!("cannot parse {}: {e}", plan_file.display())))?;
     let cache = NetCache::build(&net);
     let prog: &Programmability = cache.programmability();
     let scenario = net
@@ -425,7 +476,7 @@ fn cmd_check(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_compare(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
@@ -464,7 +515,7 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_simulate(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
@@ -539,7 +590,7 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_inspect(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
@@ -627,14 +678,14 @@ fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_relieve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_relieve(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
     let failed = parse_failures(&net, &mut args)?;
     let algo_name = parse_algo(&mut args)?;
     let opt_secs = parse_opt_secs(&mut args)?;
-    let max_moves = match take_flag(&mut args, "--moves")? {
+    let max_moves = match take_str_flag(&mut args, "--moves")? {
         Some(v) => v
             .parse()
             .map_err(|_| CliError::usage(format!("--moves: bad number {v}")))?,
@@ -683,17 +734,33 @@ fn cmd_relieve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 mod tests {
     use super::*;
 
-    fn run_ok(args: &[&str]) -> String {
-        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    fn run_ok_os(args: &[OsString]) -> String {
         let mut out = Vec::new();
-        run(&args, &mut out).expect("command succeeds");
+        run(args, &mut out).expect("command succeeds");
         String::from_utf8(out).expect("utf8 output")
     }
 
-    fn run_err(args: &[&str]) -> CliError {
-        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    fn run_ok(args: &[&str]) -> String {
+        run_ok_os(&args.iter().map(OsString::from).collect::<Vec<_>>())
+    }
+
+    fn run_err_os(args: &[OsString]) -> CliError {
         let mut out = Vec::new();
-        run(&args, &mut out).expect_err("command fails")
+        run(args, &mut out).expect_err("command fails")
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        run_err_os(&args.iter().map(OsString::from).collect::<Vec<_>>())
+    }
+
+    /// Builds an argv mixing plain flags and lossless path arguments.
+    fn argv(parts: &[&str], paths: &[(&str, &std::path::Path)]) -> Vec<OsString> {
+        let mut v: Vec<OsString> = parts.iter().map(OsString::from).collect();
+        for (flag, path) in paths {
+            v.push(OsString::from(flag));
+            v.push(path.as_os_str().to_os_string());
+        }
+        v
     }
 
     #[test]
@@ -736,14 +803,63 @@ mod tests {
         let dir = std::env::temp_dir().join("pmctl_test");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("plan.txt");
-        let path_str = path.to_str().unwrap();
-        let text = run_ok(&["plan", "--fail", "13", "--out", path_str]);
+        let text = run_ok_os(&argv(&["plan", "--fail", "13"], &[("--out", &path)]));
         assert!(text.contains("plan written"));
-        let check = run_ok(&["check", "--fail", "13", "--plan", path_str]);
+        let check = run_ok_os(&argv(&["check", "--fail", "13"], &[("--plan", &path)]));
         assert!(check.contains("FEASIBLE"));
         // Checking against the wrong failure set must fail.
-        let err = run_err(&["check", "--fail", "20", "--plan", path_str]);
+        let err = run_err_os(&argv(&["check", "--fail", "20"], &[("--plan", &path)]));
         assert!(err.message.contains("INFEASIBLE"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_paths_pass_through_losslessly() {
+        // A path with invalid UTF-8 must flow --out → --plan unmangled;
+        // before the OsString refactor this panicked on to_str().unwrap().
+        use std::os::unix::ffi::OsStrExt;
+        let dir = std::env::temp_dir().join(OsStr::from_bytes(b"pmctl_\xFF_test"));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(OsStr::from_bytes(b"plan_\xFF.txt"));
+        let text = run_ok_os(&argv(&["plan", "--fail", "13"], &[("--out", &path)]));
+        assert!(text.contains("plan written"));
+        let check = run_ok_os(&argv(&["check", "--fail", "13"], &[("--plan", &path)]));
+        assert!(check.contains("FEASIBLE"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_text_flag_is_usage_error() {
+        use std::os::unix::ffi::OsStrExt;
+        let mut args = argv(&["plan", "--fail", "13", "--algo"], &[]);
+        args.push(OsStr::from_bytes(b"p\xFFm").to_os_string());
+        let e = run_err_os(&args);
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("not valid UTF-8"), "{}", e.message);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_write_valid_json() {
+        let dir = std::env::temp_dir().join("pmctl_obs_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let trace = dir.join("t.json");
+        let metrics = dir.join("m.json");
+        let text = run_ok_os(&argv(
+            &["plan", "--fail", "13,20"],
+            &[("--trace", &trace), ("--metrics", &metrics)],
+        ));
+        assert!(text.contains("trace written to"));
+        assert!(text.contains("metrics written to"));
+        let t = std::fs::read_to_string(&trace).unwrap();
+        pm_obs::json::validate(&t).expect("trace is valid JSON");
+        assert!(t.contains("\"traceEvents\""));
+        assert!(t.contains("pm.recover"), "PM spans present in the trace");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        pm_obs::json::validate(&m).expect("metrics is valid JSON");
+        assert!(m.contains("\"schema_version\""));
+        assert!(m.contains("pm.sdn_mode_picks"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -799,8 +915,7 @@ mod tests {
         let dir = std::env::temp_dir().join("pmctl_lp_test");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("p_prime.lp");
-        let path_str = path.to_str().unwrap();
-        let text = run_ok(&["plan", "--fail", "20", "--export-lp", path_str]);
+        let text = run_ok_os(&argv(&["plan", "--fail", "20"], &[("--export-lp", &path)]));
         assert!(text.contains("CPLEX LP format"));
         let lp = std::fs::read_to_string(&path).unwrap();
         assert!(lp.contains("Maximize") && lp.contains("General"));
@@ -819,8 +934,10 @@ mod tests {
             pm_topo::zoo::to_graphml(&pm_topo::att::att_backbone()),
         )
         .unwrap();
-        let path_str = path.to_str().unwrap();
-        let topo = run_ok(&["topology", "--graphml", path_str, "--controllers", "4"]);
+        let topo = run_ok_os(&argv(
+            &["topology", "--controllers", "4"],
+            &[("--graphml", &path)],
+        ));
         assert!(topo.contains("nodes: 25"), "{topo}");
         // Controllers sit wherever k-center puts them; read one site back
         // out of the listing to drive a failure.
@@ -832,15 +949,10 @@ mod tests {
                     .and_then(|rest| rest.split_whitespace().next().map(|s| s.to_string()))
             })
             .expect("controller listing");
-        let plan = run_ok(&[
-            "plan",
-            "--graphml",
-            path_str,
-            "--controllers",
-            "4",
-            "--fail",
-            &site,
-        ]);
+        let plan = run_ok_os(&argv(
+            &["plan", "--controllers", "4", "--fail", &site],
+            &[("--graphml", &path)],
+        ));
         assert!(plan.contains("recovered flows"), "{plan}");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,7 +1,9 @@
 //! `pmctl` — see [`pm_cli`] for the command set.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // args_os, not args: file paths must round-trip even when they are
+    // not valid UTF-8.
+    let args: Vec<std::ffi::OsString> = std::env::args_os().skip(1).collect();
     let mut stdout = std::io::stdout();
     if let Err(e) = pm_cli::run(&args, &mut stdout) {
         eprintln!("{}", e.message);

@@ -201,7 +201,20 @@ impl MilpSolver {
 
     fn solve_with_presolve(&self, model: &Model) -> MilpResult {
         let start = Instant::now();
-        match crate::presolve::presolve(model) {
+        let presolved = {
+            let _span = pm_obs::span("milp.presolve");
+            crate::presolve::presolve(model)
+        };
+        if pm_obs::enabled() {
+            if let crate::presolve::Presolved::Reduced(r) = &presolved {
+                pm_obs::count("milp.presolve.eliminated_vars", r.eliminated_vars() as u64);
+                pm_obs::count(
+                    "milp.presolve.eliminated_rows",
+                    (model.constraint_count() - r.model.constraint_count()) as u64,
+                );
+            }
+        }
+        match presolved {
             crate::presolve::Presolved::Infeasible => MilpResult {
                 status: MilpStatus::Infeasible,
                 solution: None,
@@ -254,6 +267,7 @@ impl MilpSolver {
     }
 
     fn solve_direct(&self, model: &Model) -> MilpResult {
+        let _bnb_span = pm_obs::span("milp.bnb");
         let start = Instant::now();
         let n = model.var_count();
         let mut base_lb = Vec::with_capacity(n);
@@ -266,12 +280,14 @@ impl MilpSolver {
         let int_vars: Vec<usize> = model.integral_vars().map(|v| v.index()).collect();
 
         let mut incumbent: Option<Solution> = None;
+        let mut incumbents_found = 0u64;
         if let Some(ws) = &self.warm_start {
             if model.is_feasible(ws, self.int_tol * 10.0) {
                 incumbent = Some(Solution {
                     objective: model.objective_value(ws),
                     values: ws.clone(),
                 });
+                incumbents_found += 1;
             }
         }
 
@@ -317,7 +333,15 @@ impl MilpSolver {
             }
 
             nodes_explored += 1;
-            let lp = match solve_with_bounds(model, &lb, &ub, &self.simplex) {
+            let lp_start = pm_obs::enabled().then(Instant::now);
+            let outcome = solve_with_bounds(model, &lb, &ub, &self.simplex);
+            if let Some(t0) = lp_start {
+                pm_obs::observe(
+                    "milp.node_lp_ns",
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
+            let lp = match outcome {
                 LpOutcome::Optimal(s) => s,
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded => {
@@ -374,6 +398,7 @@ impl MilpSolver {
                             objective: obj,
                             values,
                         });
+                        incumbents_found += 1;
                     }
                 }
                 Some((v, _)) => {
@@ -390,6 +415,7 @@ impl MilpSolver {
                                         objective: obj,
                                         values: candidate,
                                     });
+                                    incumbents_found += 1;
                                 }
                             }
                         }
@@ -405,6 +431,7 @@ impl MilpSolver {
                                 objective: obj,
                                 values: rounded,
                             });
+                            incumbents_found += 1;
                         }
                     }
                     let x = lp.values[v];
@@ -428,6 +455,11 @@ impl MilpSolver {
         }
 
         let elapsed = start.elapsed();
+        if pm_obs::enabled() {
+            pm_obs::count("milp.bnb.solves", 1);
+            pm_obs::count("milp.bnb.nodes", nodes_explored as u64);
+            pm_obs::count("milp.bnb.incumbents", incumbents_found);
+        }
         if root_unbounded {
             return MilpResult {
                 status: MilpStatus::Unbounded,

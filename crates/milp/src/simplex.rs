@@ -139,6 +139,10 @@ struct Tableau {
     ncols: usize,
     tol: f64,
     max_iters: usize,
+    /// Telemetry: basis changes and bound flips performed across both
+    /// phases (reported to `pm_obs` when recording is enabled).
+    pivots: u64,
+    bound_flips: u64,
 }
 
 impl Tableau {
@@ -256,6 +260,8 @@ impl Tableau {
             ncols,
             tol: opts.tol,
             max_iters,
+            pivots: 0,
+            bound_flips: 0,
         }
     }
 
@@ -273,6 +279,16 @@ impl Tableau {
     }
 
     fn solve(mut self) -> LpOutcome {
+        let out = self.solve_phases();
+        if pm_obs::enabled() {
+            pm_obs::count("milp.simplex.solves", 1);
+            pm_obs::count("milp.simplex.pivots", self.pivots);
+            pm_obs::count("milp.simplex.bound_flips", self.bound_flips);
+        }
+        out
+    }
+
+    fn solve_phases(&mut self) -> LpOutcome {
         // Phase 1: drive artificials to zero.
         if !self.artificials.is_empty() {
             let mut phase1 = vec![0.0; self.ncols];
@@ -407,6 +423,7 @@ impl Tableau {
             match leaving {
                 None => {
                     // Bound flip: entering travels its whole range.
+                    self.bound_flips += 1;
                     let t = t_limit;
                     for i in 0..self.m {
                         self.bvals[i] -= t * self.coef(i, j) * delta;
@@ -417,6 +434,7 @@ impl Tableau {
                     };
                 }
                 Some((r, hit)) => {
+                    self.pivots += 1;
                     let t = t_limit;
                     // Move all basic values.
                     for i in 0..self.m {

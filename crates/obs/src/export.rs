@@ -1,0 +1,249 @@
+//! Exporters: Chrome `trace_event` JSON and the pinned-schema metrics JSON.
+//!
+//! Both documents are hand-formatted (this workspace deliberately carries
+//! no serde); layout is part of the contract and pinned by tests.
+
+use crate::{raw_state, snapshot, METRICS_SCHEMA_VERSION};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The span category shown in trace viewers: the dotted-name prefix
+/// (`"pm.phase1"` → `"pm"`).
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Renders everything recorded so far as Chrome `trace_event` JSON —
+/// complete (`"ph": "X"`) events plus thread-name metadata — loadable in
+/// `chrome://tracing` or Perfetto. Timestamps are microseconds since the
+/// recorder's epoch.
+pub fn chrome_trace_json() -> String {
+    let (mut spans, labels) = raw_state();
+    // Stable order: viewers sort anyway; files diff cleanly this way.
+    spans.sort_by(|a, b| {
+        (a.start_ns, a.tid, a.name)
+            .cmp(&(b.start_ns, b.tid, b.name))
+            .then(b.dur_ns.cmp(&a.dur_ns))
+    });
+    let mut out = String::new();
+    out.push_str("{\n\"traceEvents\": [\n");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&body);
+    };
+    push_event(
+        &mut out,
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"pm\"}}"
+            .to_string(),
+    );
+    for (tid, label) in &labels {
+        push_event(
+            &mut out,
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                esc(label)
+            ),
+        );
+    }
+    for s in &spans {
+        let args = match &s.label {
+            Some(l) => format!("{{\"label\": \"{}\"}}", esc(l)),
+            None => "{}".to_string(),
+        };
+        push_event(
+            &mut out,
+            format!(
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \
+                 \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {args}}}",
+                esc(s.name),
+                esc(category(s.name)),
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+                s.tid
+            ),
+        );
+    }
+    out.push_str("\n],\n\"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+/// Renders the recorder's aggregates as the machine-readable metrics JSON:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "counters": {"milp.branch.nodes": 12},
+///   "histograms": {"milp.node_lp_ns": {"count": 1, "sum": 5, "min": 5,
+///                  "max": 5, "buckets": [{"le": 7, "count": 1}]}},
+///   "spans": {"pm.recover": {"count": 2, "total_ns": 90, "max_ns": 50}}
+/// }
+/// ```
+///
+/// Keys are sorted; the layout is pinned by the integration tests.
+pub fn metrics_json() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {METRICS_SCHEMA_VERSION},");
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(out, "    \"{}\": {value}", esc(name));
+    }
+    out.push_str(if snap.counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"histograms\": {");
+    for (i, (name, hist)) in snap.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            esc(name),
+            hist.count(),
+            hist.sum(),
+            hist.min(),
+            hist.max()
+        );
+        for (j, (le, count)) in hist.nonzero_buckets().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"le\": {le}, \"count\": {count}}}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if snap.histograms.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
+    out.push_str("  \"spans\": {");
+    for (i, agg) in snap.spans.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+            esc(agg.name),
+            agg.count,
+            agg.total_ns,
+            agg.max_ns
+        );
+    }
+    out.push_str(if snap.spans.is_empty() {
+        "}\n"
+    } else {
+        "\n  }\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// Writes [`metrics_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_metrics(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, metrics_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::{count, enable, observe, reset, set_thread_label, span, span_labeled};
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_nested_spans() {
+        let _g = crate::tests::guard();
+        enable();
+        reset();
+        set_thread_label("test-main");
+        {
+            let _outer = span("exp.outer");
+            let _inner = span_labeled("exp.inner", "with \"quotes\" and \\slashes\\");
+        }
+        let trace = chrome_trace_json();
+        validate(&trace).expect("trace must parse as JSON");
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"name\": \"exp.outer\""));
+        assert!(trace.contains("\"cat\": \"exp\""));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("with \\\"quotes\\\" and \\\\slashes\\\\"));
+    }
+
+    #[test]
+    fn metrics_json_layout_is_pinned() {
+        let _g = crate::tests::guard();
+        enable();
+        reset();
+        count("exp.counter", 7);
+        observe("exp.hist", 5);
+        {
+            let _s = span("exp.span");
+        }
+        let doc = metrics_json();
+        validate(&doc).expect("metrics must parse as JSON");
+        assert!(doc.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(doc.contains("  \"counters\": {\n    \"exp.counter\": 7\n  },\n"));
+        assert!(doc.contains(
+            "    \"exp.hist\": {\"count\": 1, \"sum\": 5, \"min\": 5, \"max\": 5, \
+             \"buckets\": [{\"le\": 7, \"count\": 1}]}"
+        ));
+        assert!(doc.contains("\"exp.span\": {\"count\": 1, \"total_ns\": "));
+        assert!(doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_recorder_exports_are_valid() {
+        let _g = crate::tests::guard();
+        enable();
+        reset();
+        validate(&chrome_trace_json()).expect("empty trace parses");
+        let doc = metrics_json();
+        validate(&doc).expect("empty metrics parses");
+        assert!(doc.contains("\"counters\": {}"));
+        assert!(doc.contains("\"spans\": {}"));
+    }
+}

@@ -214,6 +214,10 @@ impl Pm {
         inst: &FmssmInstance<'_, '_>,
         seed: Option<&RecoveryPlan>,
     ) -> Result<RecoveryPlan, PmError> {
+        let _recover_span = pm_obs::span("pm.recover");
+        // Read the recording flag once per run; the per-iteration telemetry
+        // below is fully skipped (no clock reads) when it is off.
+        let obs = pm_obs::enabled();
         let n = inst.switches().len();
         let m = inst.controllers().len();
         let l_count = inst.flows().len();
@@ -260,8 +264,15 @@ impl Pm {
                 .unwrap_or(0)
         };
 
+        // Sub-phase time accumulators (nanoseconds); only touched while
+        // recording, so the default path never reads the clock here.
+        let mut t_select = 0u64;
+        let mut t_map = 0u64;
+        let mut t_mode = 0u64;
+        let phase1_span = pm_obs::span("pm.phase1");
         while test_count < total_iterations {
             // Lines 5–15: find the switch s_{i0} to recover.
+            let select_t0 = obs.then(std::time::Instant::now);
             let i0 = match self.config.selection {
                 SelectionRule::MostLeastProgFlows => {
                     let mut delta = 0usize;
@@ -287,6 +298,9 @@ impl Pm {
                     .iter()
                     .find(|&ip| !inst.switch_entries(ip).is_empty()),
             };
+            if let Some(t0) = select_t0 {
+                t_select += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
             let Some(i0) = i0 else {
                 // No switch can serve a least-programmable flow: this pass
                 // is exhausted, behave as lines 37–39.
@@ -297,6 +311,7 @@ impl Pm {
             };
 
             // Lines 17–28: map s_{i0} to controller C_{j0}.
+            let map_t0 = obs.then(std::time::Instant::now);
             let j0 = match x[i0] {
                 Some(j) => j,
                 None => {
@@ -319,14 +334,21 @@ impl Pm {
             };
             x[i0] = Some(j0);
             s_star.remove(i0);
+            if let Some(t0) = map_t0 {
+                t_map += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
 
             // Lines 31–36: SDN mode for least-programmable flows at s_{i0}.
+            let mode_t0 = obs.then(std::time::Instant::now);
             for &(lp, pbar) in inst.switch_entries(i0) {
                 if h[lp] <= sigma && !y.contains(i0, lp) && a[j0] > 0 {
                     a[j0] -= 1;
                     h[lp] += pbar as u64;
                     y.insert(i0, lp);
                 }
+            }
+            if let Some(t0) = mode_t0 {
+                t_mode += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             }
 
             // Lines 37–39: restart the pass when every switch was tested.
@@ -337,8 +359,12 @@ impl Pm {
             }
         }
 
+        drop(phase1_span);
+        let phase1_picks = y.selected.len();
+
         // Lines 42–50: improve the total programmability with leftovers.
         if !self.config.skip_phase2 {
+            let _phase2_span = pm_obs::span("pm.phase2");
             for (ip, ctrl) in x.iter().enumerate() {
                 if let Some(j0) = *ctrl {
                     for &(lp, pbar) in inst.switch_entries(ip) {
@@ -350,6 +376,34 @@ impl Pm {
                     }
                 }
             }
+        }
+
+        if obs {
+            pm_obs::observe("pm.phase1.select_ns", t_select);
+            pm_obs::observe("pm.phase1.map_ns", t_map);
+            pm_obs::observe("pm.phase1.mode_ns", t_mode);
+            pm_obs::count("pm.passes", test_count as u64);
+            pm_obs::count("pm.switches_mapped", x.iter().flatten().count() as u64);
+            pm_obs::count("pm.sdn_mode_picks", y.selected.len() as u64);
+            pm_obs::count("pm.phase1.sdn_mode_picks", phase1_picks as u64);
+            pm_obs::count(
+                "pm.phase2.sdn_mode_picks",
+                (y.selected.len() - phase1_picks) as u64,
+            );
+            // β = 1 entries left in legacy mode vs. put into SDN mode.
+            let total_entries: usize = (0..n).map(|ip| inst.switch_entries(ip).len()).sum();
+            pm_obs::count(
+                "pm.legacy_mode_left",
+                (total_entries - y.selected.len()) as u64,
+            );
+            pm_obs::count(
+                "pm.flows_touched",
+                h.iter().filter(|&&v| v > 0).count() as u64,
+            );
+            pm_obs::count(
+                "pm.capacity_residual_left",
+                a.iter().map(|&v| v.max(0) as u64).sum(),
+            );
         }
 
         // Line 51: emit X and Y.

@@ -174,10 +174,20 @@ impl Optimal {
     /// incumbent (cannot happen with the PM warm start enabled, mirroring
     /// the fact that PM "always has a result").
     pub fn solve_detailed(&self, inst: &FmssmInstance<'_, '_>) -> Result<OptimalOutcome, PmError> {
+        let _recover_span = pm_obs::span("optimal.solve_detailed");
         let budget = self.delay_bound.budget(inst.ideal_delay_g());
         let objective =
             ModelObjective::Combined(self.lambda_override.unwrap_or_else(|| inst.lambda()));
+        let build_span = pm_obs::span("optimal.build_model");
         let built = build_model(inst, self.linking, budget, objective);
+        drop(build_span);
+        if pm_obs::enabled() {
+            pm_obs::count("optimal.model.vars", built.model.var_count() as u64);
+            pm_obs::count(
+                "optimal.model.constraints",
+                built.model.constraint_count() as u64,
+            );
+        }
         let n = inst.switches().len();
         let m = inst.controllers().len();
         let mut solver = MilpSolver::new()
@@ -185,10 +195,12 @@ impl Optimal {
             // Decide the switch-mapping variables before per-flow modes.
             .branch_priority_below(n * m);
         if self.warm_start_with_pm {
+            let warm_span = pm_obs::span("optimal.warm_start");
             let pm_plan = Pm::new().recover(inst)?;
             if let Some(values) = built.warm_start_values(inst, &pm_plan, budget) {
                 solver = solver.warm_start(values);
             }
+            drop(warm_span);
         }
         // Primal heuristic: derive candidate switch mappings (LP rounding
         // and nearest-controller), improve the best by one pass of local
@@ -202,6 +214,7 @@ impl Optimal {
                 Some(built_for_polish.best_greedy(&inst_data, lp_map))
             }));
         }
+        let _solve_span = pm_obs::span("optimal.solve");
         let result: MilpResult = solver.solve(&built.model);
         let solution = result
             .solution

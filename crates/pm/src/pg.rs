@@ -74,6 +74,7 @@ impl RecoveryAlgorithm for Pg {
     }
 
     fn recover(&self, inst: &FmssmInstance<'_, '_>) -> Result<RecoveryPlan, PmError> {
+        let _span = pm_obs::span("pg.recover");
         let m = inst.controllers().len();
         let l_count = inst.flows().len();
         let mut a: Vec<i64> = inst.residuals().iter().map(|&r| r as i64).collect();
@@ -81,12 +82,16 @@ impl RecoveryAlgorithm for Pg {
         // Next unused entry index per flow.
         let mut cursor: Vec<usize> = vec![0; l_count];
         let mut plan = RecoveryPlan::new();
+        let mut rounds = 0u64;
+        let mut picks = 0u64;
 
         // Phase 1: balanced rounds. In each round, every flow currently at
         // the least programmability (among flows that still have unused
         // entries) receives one more SDN-mode switch, assigned to the
         // controller with the most remaining capacity.
+        let phase1_span = pm_obs::span("pg.phase1");
         loop {
+            rounds += 1;
             let active: Vec<usize> = (0..l_count)
                 .filter(|&lp| cursor[lp] < inst.flow_entries(lp).len())
                 .collect();
@@ -111,14 +116,17 @@ impl RecoveryAlgorithm for Pg {
                 a[j] -= 1;
                 h[lp] += pbar as u64;
                 plan.set_sdn_via(inst.switches()[ip], inst.flows()[lp], inst.controllers()[j]);
+                picks += 1;
                 progressed = true;
             }
             if !progressed {
                 break;
             }
         }
+        drop(phase1_span);
 
         // Phase 2: spend leftovers on any remaining entries.
+        let phase2_span = pm_obs::span("pg.phase2");
         #[allow(clippy::needless_range_loop)] // cursor and entries are parallel
         'outer: for lp in 0..l_count {
             while cursor[lp] < inst.flow_entries(lp).len() {
@@ -132,7 +140,21 @@ impl RecoveryAlgorithm for Pg {
                 cursor[lp] += 1;
                 a[j] -= 1;
                 plan.set_sdn_via(inst.switches()[ip], inst.flows()[lp], inst.controllers()[j]);
+                picks += 1;
             }
+        }
+        drop(phase2_span);
+        if pm_obs::enabled() {
+            pm_obs::count("pg.rounds", rounds);
+            pm_obs::count("pg.sdn_mode_picks", picks);
+            pm_obs::count(
+                "pg.flows_touched",
+                h.iter().filter(|&&v| v > 0).count() as u64,
+            );
+            pm_obs::count(
+                "pg.capacity_residual_left",
+                a.iter().map(|&v| v.max(0) as u64).sum(),
+            );
         }
         Ok(plan)
     }

@@ -34,6 +34,7 @@ impl RecoveryAlgorithm for RetroFlow {
     }
 
     fn recover(&self, inst: &FmssmInstance<'_, '_>) -> Result<RecoveryPlan, PmError> {
+        let _span = pm_obs::span("retroflow.recover");
         let n = inst.switches().len();
         let mut a: Vec<i64> = inst.residuals().iter().map(|&r| r as i64).collect();
 
@@ -41,6 +42,9 @@ impl RecoveryAlgorithm for RetroFlow {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&ip| (std::cmp::Reverse(inst.gamma(ip)), ip));
 
+        let mut recovered = 0u64;
+        let mut legacy = 0u64;
+        let mut flows_touched = 0u64;
         let mut plan = RecoveryPlan::new();
         for ip in order {
             let cost = inst.gamma(ip) as i64;
@@ -50,16 +54,28 @@ impl RecoveryAlgorithm for RetroFlow {
                 .iter()
                 .find(|&&j| a[j] >= cost)
             else {
+                legacy += 1;
                 continue; // stays in legacy mode, not recovered
             };
             a[j] -= cost;
+            recovered += 1;
             let s = inst.switches()[ip];
             plan.map_switch(s, inst.controllers()[j]);
             plan.set_full_sdn(s);
             // Every β = 1 flow at the switch becomes programmable there.
             for &(lp, _) in inst.switch_entries(ip) {
                 plan.set_sdn(s, inst.flows()[lp]);
+                flows_touched += 1;
             }
+        }
+        if pm_obs::enabled() {
+            pm_obs::count("retroflow.switches_recovered", recovered);
+            pm_obs::count("retroflow.switches_legacy", legacy);
+            pm_obs::count("retroflow.flows_touched", flows_touched);
+            pm_obs::count(
+                "retroflow.capacity_residual_left",
+                a.iter().map(|&v| v.max(0) as u64).sum(),
+            );
         }
         Ok(plan)
     }

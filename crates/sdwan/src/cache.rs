@@ -49,6 +49,7 @@ pub struct NetCache {
 impl NetCache {
     /// Computes every cacheable quantity of `net`.
     pub fn build(net: &SdWan) -> Self {
+        let _span = pm_obs::span("sdwan.netcache.build");
         let topo = Arc::new(TopoCache::new(net.topology().clone()));
         let prog = Arc::new(Programmability::compute_with(
             net,

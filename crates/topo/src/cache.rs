@@ -72,6 +72,7 @@ impl TopoCache {
     /// Eagerly fills every entry. Useful before handing the cache to a
     /// worker pool so no thread pays the first-use cost mid-measurement.
     pub fn warm(&self) {
+        let _span = pm_obs::span("topo.cache.warm");
         for v in self.graph.nodes() {
             self.spt(v);
             self.path_counts(v);
