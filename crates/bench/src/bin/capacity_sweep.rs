@@ -11,7 +11,7 @@
 //! parallel across the worker pool (`--jobs N`); rows are merged back in
 //! capacity order.
 //!
-//! Run: `cargo run --release -p pm-bench --bin capacity_sweep [--jobs N]`
+//! Run: `cargo run --release -p pm-bench --bin capacity_sweep [--jobs N]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 use pm_bench::par::par_map;
 use pm_bench::report::{pct, render_table};

@@ -10,7 +10,7 @@
 //! The fraction of crossing flows each algorithm can move is the utility
 //! its recovery actually delivers.
 //!
-//! Run: `cargo run --release -p pm-bench --bin reroute_drill`
+//! Run: `cargo run --release -p pm-bench --bin reroute_drill` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 use pm_bench::{EvalOptions, SweepEngine};
 use pm_core::{FmssmInstance, Pg, Pm, RecoveryAlgorithm, Rerouter, RetroFlow};

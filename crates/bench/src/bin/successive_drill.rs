@@ -16,7 +16,7 @@
 //! Sequences are independent, so they run in parallel across the worker
 //! pool (`--jobs N`) and merge back in order.
 //!
-//! Run: `cargo run --release -p pm-bench --bin successive_drill [--jobs N]`
+//! Run: `cargo run --release -p pm-bench --bin successive_drill [--jobs N]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 use pm_bench::par::par_map;
 use pm_bench::report::render_table;

@@ -2,7 +2,7 @@
 //! controllers, switches, and the number of flows in the switches under the
 //! ATT topology.
 //!
-//! Run: `cargo run -p pm-bench --bin table3 [--csv DIR]`
+//! Run: `cargo run -p pm-bench --bin table3 [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 use pm_bench::report::{render_table, write_csv};
 use pm_bench::{EvalOptions, SweepEngine};

@@ -1,7 +1,9 @@
 //! Runs the four algorithms on failure cases and collects metrics.
 
+use crate::events::EventLog;
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow};
 use pm_sdwan::{ControllerId, FailureScenario, PlanMetrics, Programmability, SdWan};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Evaluation options shared by the figure binaries, parsed from the
@@ -25,6 +27,14 @@ pub struct EvalOptions {
     /// Write the aggregated metrics JSON file here at exit (`--metrics
     /// FILE`). Implies enabling the [`pm_obs`] recorder.
     pub metrics_path: Option<std::path::PathBuf>,
+    /// Write the metrics in Prometheus text exposition format here at
+    /// exit (`--prom FILE`). Implies enabling the [`pm_obs`] recorder.
+    pub prom_path: Option<std::path::PathBuf>,
+    /// Stream structured per-case progress events while sweeping
+    /// (`--events FILE` for a JSONL file, `--progress` for a rate-limited
+    /// stderr line; either one activates the log). Does not require the
+    /// recorder and never changes sweep results.
+    pub events: Option<Arc<EventLog>>,
 }
 
 impl Default for EvalOptions {
@@ -36,6 +46,8 @@ impl Default for EvalOptions {
             jobs: crate::par::default_jobs(),
             trace_path: None,
             metrics_path: None,
+            prom_path: None,
+            events: None,
         }
     }
 }
@@ -45,6 +57,8 @@ impl EvalOptions {
     /// with a usage message.
     pub fn from_args() -> Self {
         let mut opts = EvalOptions::default();
+        let mut events_path: Option<std::path::PathBuf> = None;
+        let mut progress = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -90,13 +104,33 @@ impl EvalOptions {
                     opts.metrics_path = Some(file.into());
                     pm_obs::enable();
                 }
+                "--prom" => {
+                    let file = args.next().unwrap_or_else(|| {
+                        eprintln!("--prom needs a file argument");
+                        std::process::exit(2);
+                    });
+                    opts.prom_path = Some(file.into());
+                    pm_obs::enable();
+                }
+                "--events" => {
+                    let file = args.next().unwrap_or_else(|| {
+                        eprintln!("--events needs a file argument");
+                        std::process::exit(2);
+                    });
+                    events_path = Some(file.into());
+                }
+                "--progress" => progress = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
-                         \x20        [--trace FILE] [--metrics FILE]\n\
+                         \x20        [--trace FILE] [--metrics FILE] [--prom FILE]\n\
+                         \x20        [--events FILE] [--progress]\n\
                          regenerates one of the paper's evaluation artifacts;\n\
                          --trace writes a Chrome trace_event JSON (chrome://tracing, Perfetto)\n\
-                         --metrics writes aggregated counters/histograms/span totals as JSON"
+                         --metrics writes aggregated counters/histograms/span totals as JSON\n\
+                         --prom writes the same metrics in Prometheus text exposition format\n\
+                         --events streams per-case progress as JSON lines while sweeping\n\
+                         --progress prints a rate-limited progress line to stderr"
                     );
                     std::process::exit(0);
                 }
@@ -106,28 +140,44 @@ impl EvalOptions {
                 }
             }
         }
+        if events_path.is_some() || progress {
+            match EventLog::create(events_path.as_deref(), progress) {
+                Ok(log) => opts.events = Some(Arc::new(log)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         opts
     }
 
-    /// Writes the `--trace` / `--metrics` files from the recorder's
-    /// current state, if either flag was given. Call once, after all
-    /// measured work; a no-op when neither flag is set.
+    /// Writes the `--trace` / `--metrics` / `--prom` files from the
+    /// recorder's current state and flushes the `--events` log, for
+    /// whichever flags were given. Call once, after all measured work; a
+    /// no-op when none are set.
     ///
-    /// Failures are reported on stderr but do not abort: telemetry export
-    /// must never take down a finished run.
+    /// Failures are reported on stderr — naming the offending path — but
+    /// do not abort: telemetry export must never take down a finished run.
     pub fn export_observability(&self) {
-        if let Some(path) = &self.trace_path {
-            if let Err(e) = pm_obs::write_chrome_trace(path) {
-                eprintln!("warning: could not write trace {}: {e}", path.display());
-            } else {
-                eprintln!("trace written to {}", path.display());
+        fn export(kind: &str, path: &std::path::Path, contents: &str) {
+            match pm_obs::write_artifact(kind, path, contents) {
+                Ok(()) => eprintln!("{kind} written to {}", path.display()),
+                Err(e) => eprintln!("warning: {e}"),
             }
         }
+        if let Some(path) = &self.trace_path {
+            export("trace", path, &pm_obs::chrome_trace_json());
+        }
         if let Some(path) = &self.metrics_path {
-            if let Err(e) = pm_obs::write_metrics(path) {
-                eprintln!("warning: could not write metrics {}: {e}", path.display());
-            } else {
-                eprintln!("metrics written to {}", path.display());
+            export("metrics", path, &pm_obs::metrics_json());
+        }
+        if let Some(path) = &self.prom_path {
+            export("prometheus metrics", path, &pm_obs::prometheus_text());
+        }
+        if let Some(events) = &self.events {
+            if let Err(e) = events.close() {
+                eprintln!("warning: {e}");
             }
         }
     }

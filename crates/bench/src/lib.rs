@@ -18,12 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod figures;
 pub mod harness;
 pub mod par;
 pub mod report;
 pub mod sweep;
 
+pub use events::EventLog;
 pub use harness::{AlgoRun, CaseResult, EvalOptions};
-pub use par::{par_map, timing_stats, SweepEngine, TimingStats};
+pub use par::{current_worker, par_map, timing_stats, SweepEngine, TimingStats};
 pub use sweep::combinations;

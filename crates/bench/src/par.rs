@@ -14,6 +14,7 @@ use crate::harness::{case_label, run_algorithms, CaseResult, EvalOptions};
 use crate::sweep::combinations;
 use pm_core::FmssmInstance;
 use pm_sdwan::{ControllerId, FailureScenario, NetCache, Programmability, SdWan, SdwanError};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -23,6 +24,18 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    static WORKER_ID: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The zero-based id of the [`par_map`] worker running on this thread —
+/// 0 on the calling thread (serial path) and any thread outside a sweep.
+/// The event log ([`crate::events`]) stamps it on `case_start` /
+/// `case_finish` lines.
+pub fn current_worker() -> usize {
+    WORKER_ID.with(Cell::get)
 }
 
 /// Applies `f` to every item on up to `jobs` scoped worker threads and
@@ -52,6 +65,7 @@ where
         for w in 0..jobs {
             let (next, slots, f) = (&next, &slots, &f);
             scope.spawn(move || {
+                WORKER_ID.with(|id| id.set(w));
                 let obs = pm_obs::enabled();
                 if obs {
                     pm_obs::set_thread_label(format!("sweep-worker-{w}"));
@@ -182,8 +196,25 @@ impl<'net> SweepEngine<'net> {
 
     /// Runs the given cases across the worker pool; results come back in
     /// the order of `cases`, independent of completion order.
+    ///
+    /// When [`EvalOptions::events`] is set, per-case progress events are
+    /// streamed as the sweep runs. Event emission only wraps the per-case
+    /// closure — it never reads or writes a [`CaseResult`] — so results
+    /// are byte-identical with the log on or off.
     pub fn run_cases(&self, cases: &[Vec<ControllerId>]) -> Vec<CaseResult> {
-        par_map(cases, self.opts.jobs, |_, failed| self.run_case(failed))
+        let Some(events) = &self.opts.events else {
+            return par_map(cases, self.opts.jobs, |_, failed| self.run_case(failed));
+        };
+        events.sweep_start(cases.len(), self.opts.jobs.clamp(1, cases.len().max(1)));
+        let out = par_map(cases, self.opts.jobs, |_, failed| {
+            let label = case_label(self.net, failed);
+            let token = events.case_start(&label);
+            let result = self.run_case(failed);
+            events.case_finish(token, &label);
+            result
+        });
+        events.sweep_finish();
+        out
     }
 
     /// Runs every `k`-controller-failure case, in lexicographic order.

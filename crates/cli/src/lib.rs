@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod obs_cmd;
+
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow, TwoStage};
 use pm_sdwan::{
     place_controllers, ControllerId, NetCache, PlacementStrategy, PlanMetrics, Programmability,
@@ -67,6 +69,7 @@ USAGE:
   pmctl simulate --fail N[,N..] [--algo ...] [--cascade] [network options]
   pmctl relieve  --fail N[,N..] [--algo ...] [--moves M] [network options]
   pmctl inspect  --fail N[,N..] [network options]
+  pmctl obs      report|diff|gate ...   (see pmctl obs help)
 
 Failed controllers are named by the node they sit at (the paper's
 convention): --fail 13,20 fails the controllers at nodes 13 and 20.
@@ -80,6 +83,8 @@ observability (any command):
   --trace FILE         write a Chrome trace_event JSON of the run
                        (open in chrome://tracing or Perfetto)
   --metrics FILE       write aggregated counters/histograms/spans as JSON
+  --prom FILE          write the same metrics in Prometheus text
+                       exposition format (text/plain; version 0.0.4)
 ";
 
 /// Parsed network selection.
@@ -105,7 +110,8 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     // before dispatch so each command's own flag parsing never sees them.
     let trace_path = take_flag(&mut args, "--trace")?.map(PathBuf::from);
     let metrics_path = take_flag(&mut args, "--metrics")?.map(PathBuf::from);
-    if trace_path.is_some() || metrics_path.is_some() {
+    let prom_path = take_flag(&mut args, "--prom")?.map(PathBuf::from);
+    if trace_path.is_some() || metrics_path.is_some() || prom_path.is_some() {
         pm_obs::enable();
     }
     let Some(command) = args.first() else {
@@ -121,6 +127,7 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&rest, out),
         "relieve" => cmd_relieve(&rest, out),
         "inspect" => cmd_inspect(&rest, out),
+        "obs" => obs_cmd::cmd_obs(&rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -132,14 +139,19 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     // Telemetry is exported even when the command failed — a trace of a
     // failed run is exactly what one wants to look at.
     if let Some(path) = &trace_path {
-        pm_obs::write_chrome_trace(path)
-            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        pm_obs::write_artifact("trace", path, &pm_obs::chrome_trace_json())
+            .map_err(CliError::runtime)?;
         let _ = writeln!(out, "trace written to {}", path.display());
     }
     if let Some(path) = &metrics_path {
-        pm_obs::write_metrics(path)
-            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        pm_obs::write_artifact("metrics", path, &pm_obs::metrics_json())
+            .map_err(CliError::runtime)?;
         let _ = writeln!(out, "metrics written to {}", path.display());
+    }
+    if let Some(path) = &prom_path {
+        pm_obs::write_artifact("prometheus metrics", path, &pm_obs::prometheus_text())
+            .map_err(CliError::runtime)?;
+        let _ = writeln!(out, "prometheus metrics written to {}", path.display());
     }
     result
 }

@@ -1,0 +1,247 @@
+//! `pmctl obs` — the telemetry analysis subcommands.
+//!
+//! These read the metrics JSON the bench binaries and `pmctl --metrics`
+//! export (schema version 1) and turn it into human-readable reports,
+//! baseline diffs, and a CI regression gate:
+//!
+//! ```console
+//! pmctl obs report METRICS.json          # summarize one run
+//! pmctl obs diff BASE.json CURRENT.json  # compare two runs
+//! pmctl obs gate --baseline results/baselines/fig7.metrics.json
+//! ```
+//!
+//! `gate` compares against a committed baseline and exits with code 3
+//! when a gated (deterministic) quantity moved beyond the thresholds —
+//! time-valued metrics are reported but never gate by default, so the
+//! check is stable across machines. With no CURRENT file, `gate` re-runs
+//! the baseline workload in-process: the fig7 `--skip-optimal --jobs 1`
+//! sweep (all 41 one/two/three-controller failure cases of the paper
+//! setup) under a fresh recorder.
+
+use crate::{ensure_consumed, take_flag, take_str_flag, take_switch, CliError};
+use pm_obs::baseline::{parse_metrics, MetricsDoc};
+use pm_obs::diff::{diff, DiffOptions};
+use std::ffi::OsString;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+pub(crate) const OBS_USAGE: &str = "\
+pmctl obs — telemetry analysis
+
+USAGE:
+  pmctl obs report METRICS.json
+  pmctl obs diff BASELINE.json CURRENT.json [diff options] [--md]
+  pmctl obs gate [CURRENT.json] --baseline FILE [diff options]
+                 [--md-out FILE]
+
+diff options:
+  --max-regress P[%]   gated threshold as % of the baseline (default 10%)
+  --abs-tol N          absolute slack a gated delta must also exceed
+  --gate-time          gate wall-clock metrics too (off by default)
+
+`diff` reports differences (exit 0 either way); `gate` exits 3 when a
+gated quantity breaches. Without CURRENT.json, `gate` runs the baseline
+workload itself: the fig7 --skip-optimal --jobs 1 failure sweep.
+";
+
+/// Exit code for a breached gate: distinct from runtime errors (1) and
+/// usage errors (2) so CI can tell "regressed" from "broken".
+const GATE_EXIT: i32 = 3;
+
+pub(crate) fn cmd_obs(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    if args.is_empty() {
+        return Err(CliError::usage(OBS_USAGE));
+    }
+    let sub = args.remove(0).to_string_lossy().into_owned();
+    match sub.as_str() {
+        "report" => obs_report(&mut args, out),
+        "diff" => obs_diff(&mut args, out),
+        "gate" => obs_gate(&mut args, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{OBS_USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown obs subcommand {other}\n\n{OBS_USAGE}"
+        ))),
+    }
+}
+
+/// Reads and parses one metrics document, naming the file in any error.
+fn load_metrics(path: &Path) -> Result<MetricsDoc, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", path.display())))?;
+    parse_metrics(&text).map_err(|e| CliError::runtime(format!("{}: {e}", path.display())))
+}
+
+/// Pulls the shared threshold flags off the argument list.
+fn parse_diff_options(args: &mut Vec<OsString>) -> Result<DiffOptions, CliError> {
+    let mut opts = DiffOptions::default();
+    if let Some(v) = take_str_flag(args, "--max-regress")? {
+        let raw = v.strip_suffix('%').unwrap_or(&v);
+        opts.max_regress_pct = raw
+            .parse::<f64>()
+            .ok()
+            .filter(|p| p.is_finite() && *p >= 0.0)
+            .ok_or_else(|| CliError::usage(format!("--max-regress: bad percentage {v}")))?;
+    }
+    if let Some(v) = take_str_flag(args, "--abs-tol")? {
+        opts.abs_tolerance = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--abs-tol: bad number {v}")))?;
+    }
+    opts.gate_time_metrics = take_switch(args, "--gate-time");
+    Ok(opts)
+}
+
+/// Takes the next positional argument as a path.
+fn take_path(args: &mut Vec<OsString>, what: &str) -> Result<PathBuf, CliError> {
+    if args.is_empty() {
+        return Err(CliError::usage(format!(
+            "{what} is required\n\n{OBS_USAGE}"
+        )));
+    }
+    Ok(PathBuf::from(args.remove(0)))
+}
+
+fn obs_report(args: &mut Vec<OsString>, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = take_path(args, "METRICS.json")?;
+    ensure_consumed(args)?;
+    let doc = load_metrics(&path)?;
+    let _ = writeln!(
+        out,
+        "metrics report for {} (schema v{})",
+        path.display(),
+        doc.schema_version
+    );
+    let _ = writeln!(out);
+    let name_w = doc
+        .counters
+        .keys()
+        .chain(doc.histograms.keys())
+        .chain(doc.spans.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let _ = writeln!(out, "counters ({})", doc.counters.len());
+    for (name, v) in &doc.counters {
+        let _ = writeln!(out, "  {name:<name_w$}  {v}");
+    }
+    let _ = writeln!(out, "histograms ({})", doc.histograms.len());
+    if !doc.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "p50<=", "p95<=", "p99<=", "max"
+        );
+    }
+    for (name, h) in &doc.histograms {
+        let _ = writeln!(
+            out,
+            "  {name:<name_w$}  {:>10} {:>12} {:>12} {:>12} {:>12}",
+            h.count,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max
+        );
+    }
+    let _ = writeln!(out, "spans ({})", doc.spans.len());
+    if !doc.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:>10} {:>14} {:>14}",
+            "name", "count", "total_ns", "max_ns"
+        );
+    }
+    for (name, s) in &doc.spans {
+        let _ = writeln!(
+            out,
+            "  {name:<name_w$}  {:>10} {:>14} {:>14}",
+            s.count, s.total_ns, s.max_ns
+        );
+    }
+    Ok(())
+}
+
+fn obs_diff(args: &mut Vec<OsString>, out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_diff_options(args)?;
+    let markdown = take_switch(args, "--md");
+    let base_path = take_path(args, "BASELINE.json")?;
+    let current_path = take_path(args, "CURRENT.json")?;
+    ensure_consumed(args)?;
+    let base = load_metrics(&base_path)?;
+    let current = load_metrics(&current_path)?;
+    let report = diff(&base, &current, &opts);
+    let _ = write!(
+        out,
+        "{}",
+        if markdown {
+            report.markdown()
+        } else {
+            report.text()
+        }
+    );
+    Ok(())
+}
+
+fn obs_gate(args: &mut Vec<OsString>, out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_diff_options(args)?;
+    let Some(baseline_path) = take_flag(args, "--baseline")?.map(PathBuf::from) else {
+        return Err(CliError::usage(format!(
+            "--baseline FILE is required\n\n{OBS_USAGE}"
+        )));
+    };
+    let md_out = take_flag(args, "--md-out")?.map(PathBuf::from);
+    let current = if args.is_empty() {
+        self_measured_baseline_workload()?
+    } else {
+        let path = take_path(args, "CURRENT.json")?;
+        ensure_consumed(args)?;
+        load_metrics(&path)?
+    };
+    let base = load_metrics(&baseline_path)?;
+    let report = diff(&base, &current, &opts);
+    let _ = write!(out, "{}", report.text());
+    if let Some(path) = &md_out {
+        pm_obs::write_artifact("gate report", path, &report.markdown())
+            .map_err(CliError::runtime)?;
+        let _ = writeln!(out, "gate report written to {}", path.display());
+    }
+    if report.breached() {
+        Err(CliError {
+            code: GATE_EXIT,
+            message: format!(
+                "telemetry gate: {} gated quantity(ies) moved beyond thresholds \
+                 relative to {}",
+                report.breach_count(),
+                baseline_path.display()
+            ),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs the baseline workload in-process and snapshots its telemetry: the
+/// fig7 `--skip-optimal --jobs 1` sweep over every 1/2/3-controller
+/// failure case of the paper's ATT setup, on a freshly reset recorder.
+fn self_measured_baseline_workload() -> Result<MetricsDoc, CliError> {
+    let net = pm_sdwan::SdWanBuilder::att_paper_setup()
+        .build()
+        .map_err(|e| CliError::runtime(format!("cannot build paper network: {e}")))?;
+    pm_obs::enable();
+    pm_obs::reset();
+    let opts = pm_bench::EvalOptions {
+        skip_optimal: true,
+        jobs: 1,
+        ..Default::default()
+    };
+    let engine = pm_bench::SweepEngine::new(&net, opts);
+    for k in 1..=3 {
+        engine.sweep(k);
+    }
+    Ok(MetricsDoc::from_snapshot(&pm_obs::snapshot()))
+}

@@ -1,0 +1,192 @@
+//! Golden tests for `pmctl obs diff` / `obs report` / `obs gate`: the
+//! report text, the markdown render, and every exit code (pass, breach,
+//! malformed input, usage error) are pinned against the fixture metrics
+//! files in `tests/fixtures/`.
+
+use pm_cli::{run, CliError};
+use std::ffi::OsString;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_obs(args: &[&str]) -> (String, Result<(), CliError>) {
+    let argv: Vec<OsString> = args.iter().map(OsString::from).collect();
+    let mut out = Vec::new();
+    let result = run(&argv, &mut out);
+    (String::from_utf8(out).expect("utf-8 output"), result)
+}
+
+/// Line-by-line comparison ignoring trailing padding, so the table
+/// alignment and every cell stay pinned without invisible-whitespace
+/// brittleness in the expected strings.
+fn assert_lines(actual: &str, expected: &str) {
+    let a: Vec<&str> = actual.lines().map(str::trim_end).collect();
+    let e: Vec<&str> = expected.lines().map(str::trim_end).collect();
+    assert_eq!(a, e, "full output:\n{actual}");
+}
+
+#[test]
+fn diff_text_report_is_pinned() {
+    let (out, result) = run_obs(&[
+        "obs",
+        "diff",
+        &fixture("base.metrics.json"),
+        &fixture("current.metrics.json"),
+    ]);
+    result.expect("diff reports, it does not fail");
+    assert_lines(
+        &out,
+        "telemetry diff (thresholds: ±10.0% rel, 0 abs; time metrics informational)\n\
+         compared 11 quantities: 7 changed, 1 breach(es), 1 added, 0 removed\n\
+         \n\
+         kind     metric         field     base  current  delta     status\n\
+         counter  algo.picks     total     100   123      +23.0%    BREACH\n\
+         counter  phase.wall_ns  total     5000  9000     +80.0%    info\n\
+         hist     case.lat_ns    p95       15    1023     +6720.0%  info\n\
+         hist     case.lat_ns    p99       15    1023     +6720.0%  info\n\
+         hist     case.lat_ns    max       8     600      +7400.0%  info\n\
+         span     bench.algo     total_ns  900   1500     +66.7%    info\n\
+         span     bench.algo     max_ns    400   800      +100.0%   info\n\
+         added:   counter sweep.fresh\n\
+         verdict: BREACH (1 breach(es))",
+    );
+}
+
+#[test]
+fn diff_markdown_report_is_pinned() {
+    let (out, result) = run_obs(&[
+        "obs",
+        "diff",
+        "--md",
+        &fixture("base.metrics.json"),
+        &fixture("current.metrics.json"),
+    ]);
+    result.expect("diff reports, it does not fail");
+    assert_lines(
+        &out,
+        "## Telemetry baseline diff\n\
+         \n\
+         **Verdict: BREACH** — 1 breach(es) in 11 compared quantities \
+         (thresholds: ±10.0% rel, 0 abs; time metrics informational).\n\
+         \n\
+         | kind | metric | field | base | current | delta | status |\n\
+         |---|---|---|---:|---:|---:|---|\n\
+         | counter | `algo.picks` | total | 100 | 123 | +23.0% | BREACH |\n\
+         | counter | `phase.wall_ns` | total | 5000 | 9000 | +80.0% | info |\n\
+         | hist | `case.lat_ns` | p95 | 15 | 1023 | +6720.0% | info |\n\
+         | hist | `case.lat_ns` | p99 | 15 | 1023 | +6720.0% | info |\n\
+         | hist | `case.lat_ns` | max | 8 | 600 | +7400.0% | info |\n\
+         | span | `bench.algo` | total_ns | 900 | 1500 | +66.7% | info |\n\
+         | span | `bench.algo` | max_ns | 400 | 800 | +100.0% | info |\n\
+         \n\
+         Only in current: counter sweep.fresh",
+    );
+}
+
+#[test]
+fn report_output_is_pinned() {
+    let path = fixture("base.metrics.json");
+    let (out, result) = run_obs(&["obs", "report", &path]);
+    result.expect("report succeeds");
+    assert_lines(
+        &out,
+        &format!(
+            "metrics report for {path} (schema v1)\n\
+             \n\
+             counters (3)\n\
+             \x20 algo.picks     100\n\
+             \x20 phase.wall_ns  5000\n\
+             \x20 sweep.cases    41\n\
+             histograms (1)\n\
+             \x20 name                count        p50<=        p95<=        p99<=          max\n\
+             \x20 case.lat_ns             4            3           15           15            8\n\
+             spans (1)\n\
+             \x20 name                count       total_ns         max_ns\n\
+             \x20 bench.algo              3            900            400"
+        ),
+    );
+}
+
+#[test]
+fn gate_passes_on_identical_documents() {
+    let base = fixture("base.metrics.json");
+    let (out, result) = run_obs(&["obs", "gate", &base, "--baseline", &base]);
+    result.expect("identical documents pass the gate");
+    assert!(out.contains("verdict: PASS (0 breach(es))"), "{out}");
+}
+
+#[test]
+fn gate_breach_exits_3_and_writes_markdown() {
+    let dir = std::env::temp_dir().join(format!("pm-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let md = dir.join("gate.md");
+    let (out, result) = run_obs(&[
+        "obs",
+        "gate",
+        &fixture("current.metrics.json"),
+        "--baseline",
+        &fixture("base.metrics.json"),
+        "--md-out",
+        md.to_str().unwrap(),
+    ]);
+    let err = result.expect_err("algo.picks moved +23% past the 10% gate");
+    assert_eq!(err.code, 3, "{}", err.message);
+    assert!(err.message.contains("telemetry gate"), "{}", err.message);
+    assert!(out.contains("verdict: BREACH (1 breach(es))"), "{out}");
+    let markdown = std::fs::read_to_string(&md).expect("--md-out file written");
+    assert!(markdown.starts_with("## Telemetry baseline diff"));
+    assert!(markdown.contains("**Verdict: BREACH**"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_thresholds_are_configurable() {
+    let args = [
+        "obs",
+        "gate",
+        &fixture("current.metrics.json"),
+        "--baseline",
+        &fixture("base.metrics.json"),
+    ];
+    // +23% passes under a 25% threshold…
+    let (_, result) = run_obs(&[&args[..], &["--max-regress", "25%"]].concat());
+    result.expect("within the widened threshold");
+    // …and under a large absolute tolerance.
+    let (_, result) = run_obs(&[&args[..], &["--abs-tol", "23"]].concat());
+    result.expect("within the absolute tolerance");
+    // --gate-time turns every informational time delta into a breach.
+    let (out, result) = run_obs(&[&args[..], &["--max-regress", "25%", "--gate-time"]].concat());
+    let err = result.expect_err("time metrics gate under --gate-time");
+    assert_eq!(err.code, 3);
+    assert!(out.contains("BREACH"), "{out}");
+}
+
+#[test]
+fn malformed_and_missing_inputs_exit_1_naming_the_file() {
+    let base = fixture("base.metrics.json");
+    for current in [fixture("broken.metrics.json"), fixture("no-such.json")] {
+        let (_, result) = run_obs(&["obs", "gate", &current, "--baseline", &base]);
+        let err = result.expect_err("bad input is a runtime error");
+        assert_eq!(err.code, 1, "{}", err.message);
+        assert!(err.message.contains("metrics.json") || err.message.contains("no-such.json"));
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        vec!["obs"],
+        vec!["obs", "frobnicate"],
+        vec!["obs", "diff", "only-one.json"],
+        vec!["obs", "gate", "current.json"], // --baseline missing
+        vec!["obs", "report"],
+    ] {
+        let (_, result) = run_obs(&args);
+        let err = result.expect_err("usage error");
+        assert_eq!(err.code, 2, "{args:?}: {}", err.message);
+    }
+    let (out, result) = run_obs(&["obs", "help"]);
+    result.expect("obs help prints usage");
+    assert!(out.contains("pmctl obs gate"), "{out}");
+}

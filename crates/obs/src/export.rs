@@ -3,28 +3,10 @@
 //! Both documents are hand-formatted (this workspace deliberately carries
 //! no serde); layout is part of the contract and pinned by tests.
 
-use crate::{raw_state, snapshot, METRICS_SCHEMA_VERSION};
+use crate::json::escape as esc;
+use crate::{raw_state, snapshot, Snapshot, METRICS_SCHEMA_VERSION};
 use std::fmt::Write as _;
 use std::path::Path;
-
-/// Escapes a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 /// The span category shown in trace viewers: the dotted-name prefix
 /// (`"pm.phase1"` → `"pm"`).
@@ -169,6 +151,117 @@ pub fn metrics_json() -> String {
     out
 }
 
+/// Renders the recorder's aggregates in the Prometheus text exposition
+/// format (`text/plain; version=0.0.4`), ready to be served from a
+/// `/metrics` endpoint or dropped where the node-exporter textfile
+/// collector picks files up.
+///
+/// Naming convention (pinned by a unit test and documented in DESIGN.md):
+///
+/// * every family is prefixed `pm_` and dots become underscores
+///   (`sweep.cases` → `pm_sweep_cases_total`);
+/// * counters gain the conventional `_total` suffix;
+/// * histograms keep their unit suffix (`..._ns`) and expose **cumulative**
+///   `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` and
+///   `_count`;
+/// * span aggregates become three labelled gauge families:
+///   `pm_span_count{span="..."}`, `pm_span_total_ns{span="..."}` and
+///   `pm_span_max_ns{span="..."}`.
+pub fn prometheus_text() -> String {
+    prometheus_from_snapshot(&snapshot())
+}
+
+/// [`prometheus_text`] over an explicit [`Snapshot`] (testable without the
+/// process-global recorder).
+pub fn prometheus_from_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let fam = format!("{}_total", prom_name(name));
+        let _ = writeln!(out, "# HELP {fam} recorder counter \"{}\"", help_esc(name));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let fam = prom_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {fam} recorder histogram \"{}\" (log2 buckets)",
+            help_esc(name)
+        );
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let mut cumulative = 0u64;
+        for (le, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let _ = writeln!(out, "{fam}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{fam}_sum {}", hist.sum());
+        let _ = writeln!(out, "{fam}_count {}", hist.count());
+    }
+    if !snap.spans.is_empty() {
+        type SpanField<'a> = &'a dyn Fn(&crate::SpanAgg) -> u64;
+        let families: [(&str, SpanField<'_>); 3] = [
+            ("pm_span_count", &|s| s.count),
+            ("pm_span_total_ns", &|s| s.total_ns),
+            ("pm_span_max_ns", &|s| s.max_ns),
+        ];
+        for (fam, get) in families {
+            let _ = writeln!(out, "# HELP {fam} per-name span aggregate");
+            let _ = writeln!(out, "# TYPE {fam} gauge");
+            for s in &snap.spans {
+                let _ = writeln!(out, "{fam}{{span=\"{}\"}} {}", label_esc(s.name), get(s));
+            }
+        }
+    }
+    out
+}
+
+/// Maps a recorder metric name onto the Prometheus name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed `pm_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("pm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a HELP text per the exposition format (`\\` and `\n`).
+fn help_esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the exposition format (`\\`, `"`, `\n`).
+fn label_esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats the one error message every telemetry export path reports: the
+/// artifact kind, the offending path, and the underlying I/O error.
+pub fn artifact_error(kind: &str, path: &Path, err: &std::io::Error) -> String {
+    format!("cannot write {kind} {}: {err}", path.display())
+}
+
+/// Writes `contents` to `path`, reporting failures through
+/// [`artifact_error`]. Every telemetry export flag (`--trace`,
+/// `--metrics`, `--prom`, `--events`) funnels its file I/O through this
+/// helper so an unwritable path always surfaces the path itself —
+/// never a silent success or a panic.
+///
+/// # Errors
+///
+/// Returns the formatted [`artifact_error`] message.
+pub fn write_artifact(kind: &str, path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| artifact_error(kind, path, &e))
+}
+
 /// Writes [`chrome_trace_json`] to `path`.
 ///
 /// # Errors
@@ -185,6 +278,15 @@ pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
 /// Propagates the underlying I/O error.
 pub fn write_metrics(path: &Path) -> std::io::Result<()> {
     std::fs::write(path, metrics_json())
+}
+
+/// Writes [`prometheus_text`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_prometheus(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, prometheus_text())
 }
 
 #[cfg(test)]
@@ -233,6 +335,155 @@ mod tests {
         ));
         assert!(doc.contains("\"exp.span\": {\"count\": 1, \"total_ns\": "));
         assert!(doc.trim_end().ends_with('}'));
+    }
+
+    /// Checks `text` against the Prometheus text-exposition rules this
+    /// workspace relies on: line grammar, metric-name grammar, one TYPE
+    /// line per family before its samples, cumulative histogram buckets
+    /// ending in an `le="+Inf"` bucket equal to `_count`.
+    fn assert_prometheus_format(text: &str) {
+        assert!(text.is_empty() || text.ends_with('\n'), "ends with newline");
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && n.chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                    == Some(true)
+                && n.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut typed: Vec<String> = Vec::new();
+        let mut bucket_state: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut infs: std::collections::BTreeMap<String, u64> = Default::default();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let kw = parts.next().unwrap();
+                let fam = parts.next().expect("family name after keyword");
+                assert!(matches!(kw, "HELP" | "TYPE"), "bad comment keyword: {line}");
+                assert!(name_ok(fam), "bad family name: {line}");
+                if kw == "TYPE" {
+                    let ty = parts.next().expect("a type");
+                    assert!(
+                        matches!(ty, "counter" | "gauge" | "histogram"),
+                        "bad type: {line}"
+                    );
+                    assert!(!typed.contains(&fam.to_string()), "duplicate TYPE: {line}");
+                    typed.push(fam.to_string());
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name = name_part.split('{').next().unwrap();
+            assert!(name_ok(name), "bad metric name: {line}");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad value: {line}"));
+            if let Some(labels) = name_part
+                .strip_prefix(name)
+                .and_then(|l| l.strip_prefix('{').and_then(|l| l.strip_suffix('}')))
+            {
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label k=v");
+                    assert!(name_ok(k), "bad label name: {line}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"'),
+                        "unquoted label value: {line}"
+                    );
+                }
+            }
+            // The family a sample belongs to must have a TYPE line already.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| {
+                    name.strip_suffix(suf)
+                        .filter(|f| typed.contains(&f.to_string()))
+                })
+                .unwrap_or(name);
+            assert!(
+                typed.contains(&family.to_string()),
+                "sample before TYPE: {line}"
+            );
+            if let Some(fam) = name.strip_suffix("_bucket") {
+                let v: u64 = value.parse().expect("bucket counts are integers");
+                if name_part.contains("le=\"+Inf\"") {
+                    infs.insert(fam.to_string(), v);
+                } else {
+                    let prev = bucket_state.entry(fam.to_string()).or_insert(0);
+                    assert!(v >= *prev, "buckets must be cumulative: {line}");
+                    *prev = v;
+                }
+            }
+            if let Some(fam) = name.strip_suffix("_count") {
+                if typed.contains(&fam.to_string()) {
+                    counts.insert(fam.to_string(), value.parse().expect("integer count"));
+                }
+            }
+        }
+        for (fam, inf) in &infs {
+            assert_eq!(
+                Some(inf),
+                counts.get(fam),
+                "{fam}: +Inf bucket must equal _count"
+            );
+            if let Some(last) = bucket_state.get(fam) {
+                assert!(last <= inf, "{fam}: finite buckets exceed +Inf");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_export_obeys_text_format_rules() {
+        let _g = crate::tests::guard();
+        enable();
+        reset();
+        count("exp.prom_counter", 41);
+        observe("exp.prom_hist_ns", 0);
+        observe("exp.prom_hist_ns", 5);
+        observe("exp.prom_hist_ns", 1_000_000);
+        {
+            let _s = span("exp.prom-span");
+        }
+        let text = prometheus_text();
+        assert_prometheus_format(&text);
+        assert!(text.contains("# TYPE pm_exp_prom_counter_total counter"));
+        assert!(text.contains("pm_exp_prom_counter_total 41"));
+        assert!(text.contains("# TYPE pm_exp_prom_hist_ns histogram"));
+        // Cumulative buckets: 0 → 1, 4..7 → 2, 2^19..2^20-1 → 3, +Inf = 3.
+        assert!(text.contains("pm_exp_prom_hist_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("pm_exp_prom_hist_ns_bucket{le=\"7\"} 2"));
+        assert!(text.contains("pm_exp_prom_hist_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pm_exp_prom_hist_ns_sum 1000005"));
+        assert!(text.contains("pm_exp_prom_hist_ns_count 3"));
+        // The dash in the span name survives only in the label, not the
+        // family name.
+        assert!(text.contains("pm_span_count{span=\"exp.prom-span\"} 1"));
+        assert!(text.contains("pm_span_total_ns{span=\"exp.prom-span\"}"));
+    }
+
+    #[test]
+    fn prometheus_empty_snapshot_is_empty() {
+        let snap = Snapshot::default();
+        assert_eq!(prometheus_from_snapshot(&snap), "");
+        assert_prometheus_format("");
+    }
+
+    #[test]
+    fn write_artifact_reports_the_offending_path() {
+        let dir = std::env::temp_dir().join("pm_obs_artifact_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let ok = dir.join("ok.txt");
+        write_artifact("metrics", &ok, "x").expect("plain write succeeds");
+        // A path whose parent is a regular file is unwritable for any
+        // user (ENOTDIR) — unlike a chmod-0 directory, which root would
+        // happily write into.
+        let bad = ok.join("child.json");
+        let err = write_artifact("trace", &bad, "x").expect_err("unwritable");
+        assert!(err.contains("cannot write trace"), "{err}");
+        assert!(err.contains(&bad.display().to_string()), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,11 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod diff;
 pub mod json;
 
 mod export;
 
-pub use export::{chrome_trace_json, metrics_json, write_chrome_trace, write_metrics};
+pub use export::{
+    artifact_error, chrome_trace_json, metrics_json, prometheus_from_snapshot, prometheus_text,
+    write_artifact, write_chrome_trace, write_metrics, write_prometheus,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -177,6 +182,53 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Nearest-rank percentile estimate (see [`percentile_from_buckets`]).
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from_buckets(&self.nonzero_buckets(), q)
+    }
+
+    /// Median estimate (the 50th-percentile bucket's upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+/// Nearest-rank percentile estimate over log2 bucket data.
+///
+/// `buckets` are `(inclusive upper bound, count)` pairs in ascending bound
+/// order — the shape of [`Histogram::nonzero_buckets`] and of the
+/// `buckets` array in exported metrics JSON. `q` is the percentile in
+/// percent (`50.0`, `95.0`, `99.0`).
+///
+/// The estimate is the *upper bound of the bucket holding the
+/// nearest-rank sample* (rank `ceil(q/100 · n)`, clamped to `[1, n]`), so
+/// it is conservative by at most one power of two — the resolution the
+/// 65-bucket layout offers. An empty histogram estimates 0.
+pub fn percentile_from_buckets(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * q / 100.0).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for &(le, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return le;
+        }
+    }
+    buckets.last().map(|&(le, _)| le).unwrap_or(0)
 }
 
 #[derive(Debug, Default)]
@@ -447,6 +499,68 @@ mod tests {
         let mut top = Histogram::new();
         top.record(u64::MAX);
         assert_eq!(top.nonzero_buckets(), vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn percentiles_on_exact_powers_of_two() {
+        // 1, 2, 4, 8 land in buckets with upper bounds 1, 3, 7, 15: an
+        // exact power of two 2^k sits at the *bottom* of bucket k+1, so
+        // the estimate reports that bucket's bound 2^(k+1)-1.
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(25.0), 1);
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.percentile(75.0), 7);
+        assert_eq!(h.p95(), 15);
+        assert_eq!(h.p99(), 15);
+        assert_eq!(h.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentiles_on_empty_and_single_sample() {
+        let empty = Histogram::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p95(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        // A single sample is every percentile; 5 lives in the 4..7 bucket.
+        let mut one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.p50(), 7);
+        assert_eq!(one.p95(), 7);
+        assert_eq!(one.p99(), 7);
+        // Zero has its own bucket with bound 0 — exact, not an estimate.
+        let mut zero = Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.p50(), 0);
+        assert_eq!(zero.p99(), 0);
+    }
+
+    #[test]
+    fn percentile_ranks_are_nearest_rank() {
+        // 100 samples: 95 small (bucket bound 1), 5 large (bucket bound
+        // 1023). Nearest-rank p95 is the 95th smallest — still small;
+        // p96 and up cross into the large bucket.
+        let mut h = Histogram::new();
+        for _ in 0..95 {
+            h.record(1);
+        }
+        for _ in 0..5 {
+            h.record(1000);
+        }
+        assert_eq!(h.p95(), 1);
+        assert_eq!(h.percentile(96.0), 1023);
+        assert_eq!(h.p99(), 1023);
+        // The helper works on raw bucket data too (the metrics-JSON path).
+        assert_eq!(percentile_from_buckets(&[(1, 95), (1023, 5)], 95.0), 1);
+        assert_eq!(percentile_from_buckets(&[(1, 95), (1023, 5)], 99.0), 1023);
+        assert_eq!(percentile_from_buckets(&[], 50.0), 0);
+        // The top bucket's bound saturates at u64::MAX.
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.p50(), u64::MAX);
     }
 
     #[test]
