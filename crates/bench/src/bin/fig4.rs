@@ -1,7 +1,7 @@
 //! Regenerates the paper's Fig. 4: results of one controller failure
 //! (6 cases, panels a–d).
 //!
-//! Run: `cargo run --release -p pm-bench --bin fig4 [--opt-secs N] [--skip-optimal] [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
+//! Run: `cargo run --release -p pm-bench --bin fig4 [--opt-secs N] [--skip-optimal] [--jobs N] [--shard i/m] [--max-scenarios N] [--seed N] [--batch N] [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 fn main() {
     let opts = pm_bench::EvalOptions::from_args();

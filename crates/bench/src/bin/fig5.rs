@@ -1,7 +1,7 @@
 //! Regenerates the paper's Fig. 5: results of two controller failures
 //! (15 cases, panels a–f).
 //!
-//! Run: `cargo run --release -p pm-bench --bin fig5 [--opt-secs N] [--skip-optimal] [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
+//! Run: `cargo run --release -p pm-bench --bin fig5 [--opt-secs N] [--skip-optimal] [--jobs N] [--shard i/m] [--max-scenarios N] [--seed N] [--batch N] [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 fn main() {
     let opts = pm_bench::EvalOptions::from_args();

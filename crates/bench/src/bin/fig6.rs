@@ -3,7 +3,7 @@
 //! prove optimality within its budget in some cases — those cells are
 //! bracketed.
 //!
-//! Run: `cargo run --release -p pm-bench --bin fig6 [--opt-secs N] [--skip-optimal] [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
+//! Run: `cargo run --release -p pm-bench --bin fig6 [--opt-secs N] [--skip-optimal] [--jobs N] [--shard i/m] [--max-scenarios N] [--seed N] [--batch N] [--csv DIR]` (plus telemetry flags `--trace`/`--metrics`/`--prom`/`--events`/`--progress`; see `--help`)
 
 fn main() {
     let opts = pm_bench::EvalOptions::from_args();

@@ -6,7 +6,7 @@
 //! (mean / p95 / max per algorithm and failure count) instead — the mode
 //! used to measure the sweep engine itself.
 //!
-//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR] [--trace FILE] [--metrics FILE] [--prom FILE] [--events FILE] [--progress]`
+//! Run: `cargo run --release -p pm-bench --bin fig7 [--opt-secs N] [--skip-optimal] [--jobs N] [--shard i/m] [--max-scenarios N] [--seed N] [--batch N] [--csv DIR] [--trace FILE] [--metrics FILE] [--prom FILE] [--events FILE] [--progress]`
 
 use pm_bench::figures::{timing_rows, write_bench_sweep_json, TIMING_HEADERS};
 use pm_bench::harness::EvalOptions;

@@ -1,0 +1,382 @@
+//! Large-topology failure sweep: the scale drill for the streaming
+//! scenario-space engine.
+//!
+//! Generates a connected Waxman WAN at 1k–10k switches (β shrinks with the
+//! node count so the average degree stays in the high single digits),
+//! places controllers by farthest-point traversal, partitions domains with
+//! the nearest-controller rule, routes a bounded random flow population,
+//! and sweeps `--failures` simultaneous controller failures through the
+//! three heuristics (the MILP is out of scope at this scale). The whole
+//! pipeline avoids any all-pairs computation, so memory and time scale
+//! with the controller count and flow pool — not the switch count squared.
+//!
+//! Artifacts: `BENCH_scale.json` (pinned schema: topology, scenario-space
+//! accounting including the streaming-dispatch live peak, per-algorithm
+//! timing, optional phase breakdown), plus — with `--csv DIR` —
+//! `scale_cases.csv` and `scale_cases.jsonl` holding only deterministic
+//! per-case metrics, so the outputs of `--shard i/m` runs concatenated in
+//! shard order are byte-identical to the unsharded run.
+//!
+//! Run: `cargo run --release -p pm-bench --bin scale_sweep -- [--nodes N]
+//! [--controllers K] [--failures F] [--flows N] [--headroom H] [--jobs N]
+//! [--csv DIR] [--shard i/m] [--max-scenarios N] [--seed N] [--batch N]
+//! [--trace FILE] [--metrics FILE] [--prom FILE] [--events FILE]
+//! [--progress]`
+
+use pm_bench::figures::{write_bench_scale_json, ScaleRunInfo};
+use pm_bench::harness::EvalOptions;
+use pm_bench::report::{render_table, write_csv};
+use pm_bench::{timing_stats, SweepEngine};
+use pm_sdwan::{nearest_controller_partition, spread_controllers, SdWanBuilder, SwitchId};
+use pm_topo::builders::{waxman, WaxmanParams};
+use pm_topo::rng::DetRng;
+use std::collections::HashSet;
+
+struct ScaleArgs {
+    nodes: usize,
+    controllers: usize,
+    failures: usize,
+    flows: usize,
+    headroom: f64,
+}
+
+impl Default for ScaleArgs {
+    fn default() -> Self {
+        ScaleArgs {
+            nodes: 1000,
+            controllers: 32,
+            failures: 3,
+            flows: 1024,
+            headroom: 1.5,
+        }
+    }
+}
+
+fn parse_scale_args(rest: Vec<String>) -> ScaleArgs {
+    let mut sa = ScaleArgs::default();
+    let mut it = rest.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs an argument");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                sa.nodes = value("--nodes", &mut it).parse().unwrap_or_else(|_| {
+                    eprintln!("--nodes needs an integer argument");
+                    std::process::exit(2);
+                })
+            }
+            "--controllers" => {
+                sa.controllers = value("--controllers", &mut it).parse().unwrap_or_else(|_| {
+                    eprintln!("--controllers needs an integer argument");
+                    std::process::exit(2);
+                })
+            }
+            "--failures" => {
+                sa.failures = value("--failures", &mut it).parse().unwrap_or_else(|_| {
+                    eprintln!("--failures needs an integer argument");
+                    std::process::exit(2);
+                })
+            }
+            "--flows" => {
+                sa.flows = value("--flows", &mut it).parse().unwrap_or_else(|_| {
+                    eprintln!("--flows needs an integer argument");
+                    std::process::exit(2);
+                })
+            }
+            "--headroom" => {
+                sa.headroom = value("--headroom", &mut it).parse().unwrap_or_else(|_| {
+                    eprintln!("--headroom needs a number argument");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sa.controllers < 2 || sa.controllers > sa.nodes {
+        eprintln!(
+            "--controllers must be between 2 and --nodes ({} controllers, {} nodes)",
+            sa.controllers, sa.nodes
+        );
+        std::process::exit(2);
+    }
+    if sa.failures == 0 || sa.failures >= sa.controllers {
+        eprintln!(
+            "--failures must leave at least one controller standing \
+             ({} failures, {} controllers)",
+            sa.failures, sa.controllers
+        );
+        std::process::exit(2);
+    }
+    if sa.flows == 0 {
+        eprintln!("--flows needs a positive integer argument");
+        std::process::exit(2);
+    }
+    sa
+}
+
+/// `size` distinct node indices, chosen by a partial Fisher–Yates shuffle.
+fn sample_pool(rng: &mut DetRng, n: usize, size: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..n).collect();
+    let size = size.min(n);
+    for i in 0..size {
+        let j = i + (rng.next_u64() as usize) % (n - i);
+        all.swap(i, j);
+    }
+    all.truncate(size);
+    all
+}
+
+/// Up to `want` distinct `(src, dst)` pairs over bounded endpoint pools, so
+/// the per-source and per-destination shortest-path caches stay small no
+/// matter how large the topology is.
+fn sample_flows(rng: &mut DetRng, n: usize, want: usize) -> Vec<(SwitchId, SwitchId)> {
+    let pool = sample_pool(rng, n, 192.min(n));
+    let mut pairs = Vec::with_capacity(want);
+    let mut seen = HashSet::new();
+    let mut misses = 0usize;
+    while pairs.len() < want && misses < 20 * want + 100 {
+        let src = pool[(rng.next_u64() as usize) % pool.len()];
+        let dst = pool[(rng.next_u64() as usize) % pool.len()];
+        if src == dst || !seen.insert((src, dst)) {
+            misses += 1;
+            continue;
+        }
+        pairs.push((SwitchId(src), SwitchId(dst)));
+    }
+    pairs
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "scale_sweep flags: [--nodes N] [--controllers K] [--failures F]\n\
+             \x20                  [--flows N] [--headroom H]\n\
+             --nodes        Waxman switch count (default 1000)\n\
+             --controllers  placed controllers (default 32)\n\
+             --failures     simultaneous failures per scenario (default 3)\n\
+             --flows        routed flows over bounded endpoint pools (default 1024)\n\
+             --headroom     uniform auto-capacity factor over the peak load (default 1.5)\n\
+             plus the common sweep flags:"
+        );
+    }
+    let mut rest = Vec::new();
+    let mut opts = EvalOptions::from_args_partial(std::env::args().skip(1), &mut rest);
+    let sa = parse_scale_args(rest);
+    // The MILP is out of scope at this scale, and eager cache warming would
+    // reintroduce the all-pairs cost the drill exists to avoid.
+    opts.skip_optimal = true;
+    opts.eager_warm = false;
+    // The recorder backs the live-peak accounting below even when no
+    // telemetry export was requested.
+    pm_obs::enable();
+
+    let beta = (0.2 * (29.0 / (sa.nodes.max(2) as f64 - 1.0)).sqrt()).min(0.35);
+    let params = WaxmanParams {
+        nodes: sa.nodes,
+        beta,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "scale_sweep: generating waxman n={} (beta {:.4}, seed {})...",
+        sa.nodes, beta, opts.seed
+    );
+    let g = {
+        let _span = pm_obs::span("scale.topology");
+        waxman(&params).expect("waxman parameters are valid")
+    };
+    let edges = g.edge_count();
+    let (sites, domains, flows) = {
+        let _span = pm_obs::span("scale.placement");
+        let sites = spread_controllers(&g, sa.controllers).expect("connected by construction");
+        let domains = nearest_controller_partition(&g, &sites).expect("sites are valid");
+        let mut rng = DetRng::seed_from_u64(opts.seed ^ 0x5ca1e5eed);
+        let flows = sample_flows(&mut rng, sa.nodes, sa.flows);
+        (sites, domains, flows)
+    };
+    let flow_count = flows.len();
+    eprintln!(
+        "scale_sweep: {} edges, {} controllers, {} flows; building network...",
+        edges,
+        sites.len(),
+        flow_count
+    );
+    let net = {
+        let _span = pm_obs::span("scale.build");
+        let mut b = SdWanBuilder::new(g);
+        for &s in &sites {
+            b = b.controller(s, 0);
+        }
+        b.domains(domains)
+            .explicit_flows(flows)
+            .auto_capacity(sa.headroom)
+            .build()
+            .expect("generated network is valid")
+    };
+
+    let engine = SweepEngine::new(&net, opts.clone());
+    let sel = engine.selection(sa.failures);
+    let range = sel.shard_range(opts.shard);
+    let cases_run = (range.end - range.start) as usize;
+    let shard_note = match opts.shard {
+        Some((i, m)) => format!(" (shard {i}/{m} of {})", sel.len()),
+        None => String::new(),
+    };
+    eprintln!(
+        "scale_sweep: {} of {} scenario(s){}{} on {} thread(s), batch {}...",
+        cases_run,
+        sel.space().count(),
+        if sel.is_sampled() { " [sampled]" } else { "" },
+        shard_note,
+        opts.jobs,
+        opts.batch
+    );
+    let cases = engine.sweep_selection(&sel);
+
+    // The streaming-dispatch contract: live scenario storage never exceeds
+    // jobs × batch entries. The engine counts it; hold it to account here.
+    let snap = pm_obs::snapshot();
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let live_peak = counter("sweep.scenario.live_peak");
+    let live_bound = (opts.jobs as u64).saturating_mul(opts.batch as u64);
+    assert!(
+        live_peak <= live_bound,
+        "streaming sweep materialized {live_peak} scenarios at once; \
+         the contract bound is jobs*batch = {live_bound}"
+    );
+
+    let info = ScaleRunInfo {
+        nodes: sa.nodes,
+        edges,
+        seed: opts.seed,
+        controllers: sites.len(),
+        flows: flow_count,
+        failures: sa.failures,
+        space_size: sel.space().count(),
+        selected: sel.len(),
+        sampled: sel.is_sampled(),
+        shard: opts.shard,
+        cases_run: cases.len(),
+        live_peak,
+        live_bound,
+    };
+
+    println!(
+        "scale_sweep — {} switches / {} controllers / {} failure(s), {} case(s)\n",
+        info.nodes,
+        info.controllers,
+        info.failures,
+        cases.len()
+    );
+    let stats = timing_stats(&cases);
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.algorithm.to_string(),
+                format!("{:.3}", s.mean.as_secs_f64() * 1e3),
+                format!("{:.3}", s.p95.as_secs_f64() * 1e3),
+                format!("{:.3}", s.max.as_secs_f64() * 1e3),
+                s.cases.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["algorithm", "mean ms", "p95 ms", "max ms", "cases"],
+            &rows
+        )
+    );
+    println!(
+        "\nscenario space {} -> selected {}{}; live peak {live_peak} <= bound {live_bound}",
+        info.space_size,
+        info.selected,
+        if info.sampled { " (seeded sample)" } else { "" }
+    );
+
+    if let Some(dir) = &opts.csv_dir {
+        let (headers, rows) = case_rows(&cases);
+        let header_refs: Vec<&str> = headers.to_vec();
+        write_csv(dir, "scale_cases", &header_refs, &rows);
+        write_case_jsonl(dir, &headers, &rows);
+    }
+    write_bench_scale_json(&opts, &info, &cases);
+    opts.export_observability();
+}
+
+/// Deterministic per-case output rows: plan metrics only, no wall-clock
+/// values, so shard outputs concatenate byte-identically.
+fn case_rows(cases: &[pm_bench::CaseResult]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "case",
+        "offline_switches",
+        "offline_flows",
+        "retro_programmability",
+        "pm_programmability",
+        "pg_programmability",
+        "retro_recovered_flows",
+        "pm_recovered_flows",
+        "pg_recovered_flows",
+        "pm_total_delay_ms",
+    ];
+    let rows = cases
+        .iter()
+        .map(|case| {
+            let m = |name: &str| case.run(name).expect("heuristics always run");
+            let pm = m("PM");
+            vec![
+                case.label.clone(),
+                pm.metrics.offline_switches.to_string(),
+                pm.metrics.offline_flows.to_string(),
+                m("RetroFlow").metrics.total_programmability.to_string(),
+                pm.metrics.total_programmability.to_string(),
+                m("PG").metrics.total_programmability.to_string(),
+                m("RetroFlow").metrics.recovered_flows.to_string(),
+                pm.metrics.recovered_flows.to_string(),
+                m("PG").metrics.recovered_flows.to_string(),
+                format!("{:.6}", pm.total_delay),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+/// The same rows as `scale_cases.csv`, one JSON object per line — the
+/// mergeable JSON counterpart for sharded runs.
+fn write_case_jsonl(dir: &std::path::Path, headers: &[&'static str], rows: &[Vec<String>]) {
+    let mut out = String::new();
+    for row in rows {
+        out.push('{');
+        for (i, (h, v)) in headers.iter().zip(row).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            // Only the case label is a string; every other column is numeric.
+            if i == 0 {
+                out.push_str(&format!("\"{h}\": \"{v}\""));
+            } else {
+                out.push_str(&format!("\"{h}\": {v}"));
+            }
+        }
+        out.push_str("}\n");
+    }
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join("scale_cases.jsonl"), out))
+    {
+        eprintln!("warning: could not write scale_cases.jsonl: {e}");
+    }
+}

@@ -328,6 +328,138 @@ pub fn write_bench_sweep_json(opts: &EvalOptions, figure: &str, sweeps: &[(usize
     }
 }
 
+/// Everything `BENCH_scale.json` records about a `scale_sweep` run besides
+/// the timing table: the generated topology, the scenario space and how it
+/// was cut down (sampling, sharding), and the streaming-dispatch memory
+/// high-water mark.
+#[derive(Debug, Clone)]
+pub struct ScaleRunInfo {
+    /// Switch count of the generated Waxman topology.
+    pub nodes: usize,
+    /// Edge count of the generated topology.
+    pub edges: usize,
+    /// Seed the topology (and the scenario sample) was generated from.
+    pub seed: u64,
+    /// Number of placed controllers.
+    pub controllers: usize,
+    /// Number of routed flows.
+    pub flows: usize,
+    /// Simultaneous controller failures per scenario.
+    pub failures: usize,
+    /// Full scenario-space size `C(controllers, failures)`.
+    pub space_size: u64,
+    /// Scenarios selected after `--max-scenarios` (equals `space_size`
+    /// when exhaustive).
+    pub selected: u64,
+    /// Whether the selection is a seeded sample rather than exhaustive.
+    pub sampled: bool,
+    /// The `--shard i/m` slice this run executed, if any.
+    pub shard: Option<(usize, usize)>,
+    /// Cases actually run (the shard's slice of the selection).
+    pub cases_run: usize,
+    /// Peak number of simultaneously materialized scenarios
+    /// (`sweep.scenario.live_peak`).
+    pub live_peak: u64,
+    /// The contract bound on `live_peak`: `jobs × batch`.
+    pub live_bound: u64,
+}
+
+/// Renders `BENCH_scale.json` (schema version 1): the [`ScaleRunInfo`]
+/// header, the per-algorithm timing table of [`bench_sweep_json`], and —
+/// when a [`pm_obs`] snapshot with spans is supplied — the same
+/// `phase_breakdown` section `BENCH_sweep.json` carries.
+pub fn bench_scale_json(
+    info: &ScaleRunInfo,
+    jobs: usize,
+    cases: &[CaseResult],
+    phases: Option<&pm_obs::Snapshot>,
+) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"figure\": \"scale_sweep\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    out.push_str("  \"topology\": {");
+    let _ = write!(
+        out,
+        "\"model\": \"waxman\", \"nodes\": {}, \"edges\": {}, \"seed\": {}, \
+         \"controllers\": {}, \"flows\": {}, \"failures\": {}",
+        info.nodes, info.edges, info.seed, info.controllers, info.flows, info.failures
+    );
+    out.push_str("},\n");
+    out.push_str("  \"scenario_space\": {");
+    let shard = match info.shard {
+        Some((i, m)) => format!("\"{i}/{m}\""),
+        None => "null".into(),
+    };
+    let _ = write!(
+        out,
+        "\"size\": {}, \"selected\": {}, \"sampled\": {}, \"shard\": {shard}, \
+         \"cases_run\": {}, \"live_peak\": {}, \"live_bound\": {}",
+        info.space_size,
+        info.selected,
+        info.sampled,
+        info.cases_run,
+        info.live_peak,
+        info.live_bound
+    );
+    out.push_str("},\n");
+    if let Some(snap) = phases {
+        if !snap.spans.is_empty() {
+            out.push_str("  \"phase_breakdown\": {\n");
+            for (i, s) in snap.spans.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                    s.name, s.count, s.total_ns, s.max_ns
+                );
+                out.push_str(if i + 1 < snap.spans.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  },\n");
+        }
+    }
+    out.push_str("  \"algorithms\": [\n");
+    let stats = timing_stats(cases);
+    for (ai, s) in stats.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"max_ms\": {:.3}, \"cases\": {}}}",
+            s.algorithm,
+            ms(s.mean),
+            ms(s.p95),
+            ms(s.max),
+            s.cases
+        );
+        out.push_str(if ai + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`bench_scale_json`] to `BENCH_scale.json` in the CSV directory
+/// (or the working directory when `--csv` was not given), folding in the
+/// recorder's span aggregates when it is on — the `BENCH_sweep.json`
+/// conventions exactly.
+pub fn write_bench_scale_json(opts: &EvalOptions, info: &ScaleRunInfo, cases: &[CaseResult]) {
+    let snap = pm_obs::enabled().then(pm_obs::snapshot);
+    let body = bench_scale_json(info, opts.jobs, cases, snap.as_ref());
+    let dir = opts
+        .csv_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("BENCH_scale.json"), body))
+    {
+        eprintln!("warning: could not write BENCH_scale.json: {e}");
+    }
+}
+
 /// Runs all `k`-controller-failure cases and prints the paper's panels.
 ///
 /// `fig_name` tags the output ("fig4" …); `switch_panels` adds the
@@ -338,12 +470,18 @@ pub fn run_failure_figure(k: usize, fig_name: &str, switch_panels: bool, opts: &
         .build()
         .expect("paper setup builds");
     let engine = SweepEngine::new(&net, opts.clone());
-    let case_count = crate::sweep::combinations(net.controllers().len(), k).len();
+    let sel = engine.selection(k);
+    let shard_positions = sel.shard_range(opts.shard);
+    let case_count = shard_positions.end - shard_positions.start;
+    let shard_note = match opts.shard {
+        Some((i, m)) => format!(" (shard {i}/{m} of {})", sel.len()),
+        None => String::new(),
+    };
     eprintln!(
-        "{fig_name}: running {case_count} case(s) on {} thread(s)...",
+        "{fig_name}: running {case_count} case(s){shard_note} on {} thread(s)...",
         opts.jobs
     );
-    let cases = engine.sweep(k);
+    let cases = engine.sweep_selection(&sel);
 
     print!(
         "{}",

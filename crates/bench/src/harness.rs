@@ -35,6 +35,27 @@ pub struct EvalOptions {
     /// stderr line; either one activates the log). Does not require the
     /// recorder and never changes sweep results.
     pub events: Option<Arc<EventLog>>,
+    /// Run only shard `i` of `m` of each sweep's scenario sequence
+    /// (`--shard i/m`, 1-based). Shards partition the rank space
+    /// contiguously, so the m shard outputs concatenated in shard order
+    /// are byte-identical to the unsharded run.
+    pub shard: Option<(usize, usize)>,
+    /// Cap each sweep at this many scenarios (`--max-scenarios N`). When
+    /// the space is larger, ranks are drawn without replacement from a
+    /// [`pm_topo::rng::DetRng`] seeded with [`EvalOptions::seed`]; when it
+    /// already fits the budget, the sweep stays exhaustive.
+    pub max_scenarios: Option<u64>,
+    /// Seed for scenario subsampling (`--seed N`, default 42). Unused
+    /// unless `--max-scenarios` actually forces a sample.
+    pub seed: u64,
+    /// Scenarios a worker claims and materializes per dispatch round
+    /// (`--batch N`, default 32). Live scenario storage during a
+    /// streaming sweep is bounded by `jobs × batch` entries.
+    pub batch: usize,
+    /// Eagerly warm the whole topology cache when the engine is built
+    /// (default). Scale binaries switch this off so only the
+    /// shortest-path state the sweep actually touches is computed.
+    pub eager_warm: bool,
 }
 
 impl Default for EvalOptions {
@@ -48,6 +69,11 @@ impl Default for EvalOptions {
             metrics_path: None,
             prom_path: None,
             events: None,
+            shard: None,
+            max_scenarios: None,
+            seed: 42,
+            batch: 32,
+            eager_warm: true,
         }
     }
 }
@@ -56,10 +82,23 @@ impl EvalOptions {
     /// Parses the common flags from `std::env::args`. Unknown flags abort
     /// with a usage message.
     pub fn from_args() -> Self {
+        let mut rest = Vec::new();
+        let opts = Self::from_args_partial(std::env::args().skip(1), &mut rest);
+        if let Some(other) = rest.first() {
+            eprintln!("unknown flag {other}; try --help");
+            std::process::exit(2);
+        }
+        opts
+    }
+
+    /// Parses the common flags out of `args`, pushing anything it does not
+    /// recognize onto `rest` in order — binaries with extra flags (e.g.
+    /// `scale_sweep`) parse those from `rest` afterwards.
+    pub fn from_args_partial(args: impl Iterator<Item = String>, rest: &mut Vec<String>) -> Self {
         let mut opts = EvalOptions::default();
         let mut events_path: Option<std::path::PathBuf> = None;
         let mut progress = false;
-        let mut args = std::env::args().skip(1);
+        let mut args = args;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--opt-secs" => {
@@ -120,12 +159,56 @@ impl EvalOptions {
                     events_path = Some(file.into());
                 }
                 "--progress" => progress = true,
+                "--shard" => {
+                    let spec = args.next().unwrap_or_else(|| {
+                        eprintln!("--shard needs an i/m argument, e.g. --shard 2/4");
+                        std::process::exit(2);
+                    });
+                    opts.shard = Some(parse_shard(&spec).unwrap_or_else(|| {
+                        eprintln!("--shard needs i/m with 1 <= i <= m, got {spec}");
+                        std::process::exit(2);
+                    }));
+                }
+                "--max-scenarios" => {
+                    let v: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--max-scenarios needs an integer argument");
+                        std::process::exit(2);
+                    });
+                    if v == 0 {
+                        eprintln!("--max-scenarios needs a positive integer argument");
+                        std::process::exit(2);
+                    }
+                    opts.max_scenarios = Some(v);
+                }
+                "--seed" => {
+                    let v: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer argument");
+                        std::process::exit(2);
+                    });
+                    opts.seed = v;
+                }
+                "--batch" => {
+                    let v: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--batch needs a positive integer argument");
+                        std::process::exit(2);
+                    });
+                    if v == 0 {
+                        eprintln!("--batch needs a positive integer argument");
+                        std::process::exit(2);
+                    }
+                    opts.batch = v;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
+                         \x20        [--shard i/m] [--max-scenarios N] [--seed N] [--batch N]\n\
                          \x20        [--trace FILE] [--metrics FILE] [--prom FILE]\n\
                          \x20        [--events FILE] [--progress]\n\
                          regenerates one of the paper's evaluation artifacts;\n\
+                         --shard runs only the i-th of m contiguous slices of each sweep\n\
+                         --max-scenarios caps a sweep, sampling ranks without replacement\n\
+                         --seed seeds the scenario sample (default 42)\n\
+                         --batch sets scenarios materialized per worker dispatch (default 32)\n\
                          --trace writes a Chrome trace_event JSON (chrome://tracing, Perfetto)\n\
                          --metrics writes aggregated counters/histograms/span totals as JSON\n\
                          --prom writes the same metrics in Prometheus text exposition format\n\
@@ -134,10 +217,7 @@ impl EvalOptions {
                     );
                     std::process::exit(0);
                 }
-                other => {
-                    eprintln!("unknown flag {other}; try --help");
-                    std::process::exit(2);
-                }
+                _ => rest.push(a),
             }
         }
         if events_path.is_some() || progress {
@@ -181,6 +261,15 @@ impl EvalOptions {
             }
         }
     }
+}
+
+/// Parses a `--shard` spec of the form `i/m` (1-based), rejecting
+/// `i = 0`, `m = 0` and `i > m`.
+pub fn parse_shard(spec: &str) -> Option<(usize, usize)> {
+    let (i, m) = spec.split_once('/')?;
+    let i: usize = i.trim().parse().ok()?;
+    let m: usize = m.trim().parse().ok()?;
+    (i >= 1 && i <= m).then_some((i, m))
 }
 
 /// One algorithm's outcome on one failure case.
@@ -341,6 +430,36 @@ mod tests {
         let case = run_case(&net, &prog, &[ControllerId(0)], &opts);
         assert_eq!(case.runs.len(), 3);
         assert!(case.run("Optimal").is_none());
+    }
+
+    #[test]
+    fn shard_spec_parsing() {
+        assert_eq!(parse_shard("1/1"), Some((1, 1)));
+        assert_eq!(parse_shard("2/4"), Some((2, 4)));
+        assert_eq!(parse_shard(" 3 / 3 "), Some((3, 3)));
+        assert_eq!(parse_shard("0/4"), None, "1-based index");
+        assert_eq!(parse_shard("5/4"), None, "index beyond shard count");
+        assert_eq!(parse_shard("2"), None);
+        assert_eq!(parse_shard("a/b"), None);
+        assert_eq!(parse_shard("1/0"), None);
+    }
+
+    #[test]
+    fn partial_parse_leaves_unknown_flags_in_order() {
+        let args = [
+            "--nodes",
+            "100",
+            "--skip-optimal",
+            "--shard",
+            "1/2",
+            "--controllers",
+            "8",
+        ];
+        let mut rest = Vec::new();
+        let opts = EvalOptions::from_args_partial(args.iter().map(|s| s.to_string()), &mut rest);
+        assert!(opts.skip_optimal);
+        assert_eq!(opts.shard, Some((1, 2)));
+        assert_eq!(rest, vec!["--nodes", "100", "--controllers", "8"]);
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub mod figures;
 pub mod harness;
 pub mod par;
 pub mod report;
+pub mod scenario_space;
 pub mod sweep;
 
 pub use events::EventLog;
 pub use harness::{AlgoRun, CaseResult, EvalOptions};
 pub use par::{current_worker, par_map, timing_stats, SweepEngine, TimingStats};
+pub use scenario_space::{binomial, ScenarioSelection, ScenarioSpace};
 pub use sweep::combinations;

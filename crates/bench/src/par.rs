@@ -1,21 +1,31 @@
 //! Deterministic parallel failure sweeps.
 //!
-//! [`SweepEngine`] runs every failure case of a sweep across a scoped
+//! [`SweepEngine`] runs the failure cases of a sweep across a scoped
 //! worker pool (`--jobs N`, default: all cores) and merges the per-case
-//! results in the lexicographic order of the case list — the order
-//! [`combinations`] enumerates — regardless of which worker finishes
-//! first. Each case reuses the engine's [`NetCache`] (shortest-path trees,
+//! results in the scenario sequence's order — ascending colexicographic
+//! rank (see [`crate::ScenarioSpace`]) — regardless of which worker
+//! finishes first. Scenarios are **streamed**: workers claim contiguous
+//! position batches and materialize each failure set on demand with
+//! [`crate::ScenarioSpace::unrank`], so live scenario storage never
+//! exceeds `jobs × batch` entries however large `C(n, f)` grows (the
+//! `sweep.scenario.live_peak` counter records the observed high-water
+//! mark). `--shard i/m` restricts a run to one contiguous slice of the
+//! sequence and `--max-scenarios` subsamples it; both compose with any
+//! job count without changing a single result byte.
+//!
+//! Each case reuses the engine's [`NetCache`] (shortest-path trees,
 //! path counts, programmability, controller loads, delay orders), so a
 //! case costs only the algorithms themselves. Metric output is therefore
 //! byte-identical between `--jobs 1` and any other thread count; only the
 //! wall-clock statistics vary run to run.
 
 use crate::harness::{case_label, run_algorithms, CaseResult, EvalOptions};
-use crate::sweep::combinations;
+use crate::scenario_space::{ScenarioSelection, ScenarioSpace};
 use pm_core::FmssmInstance;
 use pm_sdwan::{ControllerId, FailureScenario, NetCache, Programmability, SdWan, SdwanError};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -139,7 +149,9 @@ impl<'net> SweepEngine<'net> {
     /// calls).
     pub fn new(net: &'net SdWan, opts: EvalOptions) -> Self {
         let cache = NetCache::build(net);
-        cache.topo().warm();
+        if opts.eager_warm {
+            cache.topo().warm();
+        }
         SweepEngine { net, cache, opts }
     }
 
@@ -217,9 +229,148 @@ impl<'net> SweepEngine<'net> {
         out
     }
 
-    /// Runs every `k`-controller-failure case, in lexicographic order.
+    /// The scenario selection a `f`-failure sweep of this engine executes:
+    /// the full colex rank space of f-subsets of the controllers, cut down
+    /// to [`EvalOptions::max_scenarios`] by seeded sampling when set.
+    pub fn selection(&self, f: usize) -> ScenarioSelection {
+        let space = ScenarioSpace::new(self.net.controllers().len(), f);
+        match self.opts.max_scenarios {
+            Some(max) => ScenarioSelection::sampled(space, max, self.opts.seed),
+            None => ScenarioSelection::exhaustive(space),
+        }
+    }
+
+    /// Runs every `k`-controller-failure case of this engine's
+    /// [`SweepEngine::selection`], in ascending colex rank order,
+    /// restricted to [`EvalOptions::shard`] when set.
     pub fn sweep(&self, k: usize) -> Vec<CaseResult> {
-        self.run_cases(&combinations(self.net.controllers().len(), k))
+        let sel = self.selection(k);
+        self.sweep_selection(&sel)
+    }
+
+    /// Runs the scenarios of `sel` this engine's shard covers, streaming
+    /// them through the worker pool in position order.
+    ///
+    /// Workers claim contiguous batches of [`EvalOptions::batch`]
+    /// positions and materialize each batch's failure sets on demand, so
+    /// at most `jobs × batch` scenario descriptors are live at once —
+    /// recorded in the `sweep.scenario.live_peak` counter when the
+    /// recorder is on. Results merge in position order, making output
+    /// independent of the job count, and m shards concatenated in shard
+    /// order byte-identical to the unsharded run.
+    pub fn sweep_selection(&self, sel: &ScenarioSelection) -> Vec<CaseResult> {
+        self.run_stream(sel, sel.shard_range(self.opts.shard))
+    }
+
+    fn run_stream(&self, sel: &ScenarioSelection, range: Range<u64>) -> Vec<CaseResult> {
+        let total = usize::try_from(range.end - range.start).expect("shard result set fits memory");
+        let obs = pm_obs::enabled();
+        if obs {
+            pm_obs::count_max("sweep.scenario.space_size", sel.space().count());
+            pm_obs::count_max("sweep.scenario.selected", sel.len());
+            if sel.is_sampled() {
+                pm_obs::count("sweep.scenario.sampled_sweeps", 1);
+            }
+        }
+        let jobs = self.opts.jobs.clamp(1, total.max(1));
+        let batch = self.opts.batch.max(1);
+        if let Some(events) = &self.opts.events {
+            events.sweep_start(total, jobs);
+        }
+        let run_one = |failed: &[ControllerId]| -> CaseResult {
+            match &self.opts.events {
+                None => self.run_case(failed),
+                Some(events) => {
+                    let label = case_label(self.net, failed);
+                    let token = events.case_start(&label);
+                    let result = self.run_case(failed);
+                    events.case_finish(token, &label);
+                    result
+                }
+            }
+        };
+        let out = if jobs <= 1 {
+            // Serial path: one scenario buffer, reused across positions.
+            let mut buf = Vec::new();
+            let mut out = Vec::with_capacity(total);
+            for pos in range {
+                sel.scenario_at_into(pos, &mut buf);
+                if obs {
+                    pm_obs::count_max("sweep.scenario.live_peak", 1);
+                }
+                out.push(run_one(&buf));
+            }
+            out
+        } else {
+            let next = AtomicU64::new(0);
+            let live = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<CaseResult>>> =
+                Mutex::new((0..total).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for w in 0..jobs {
+                    let (next, live, slots, run_one) = (&next, &live, &slots, &run_one);
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        WORKER_ID.with(|id| id.set(w));
+                        if obs {
+                            pm_obs::set_thread_label(format!("sweep-worker-{w}"));
+                        }
+                        let mut batch_buf: Vec<Vec<ControllerId>> = Vec::with_capacity(batch);
+                        let mut idle_since = obs.then(std::time::Instant::now);
+                        loop {
+                            let claim = next.fetch_add(1, Ordering::Relaxed);
+                            let start = range.start + claim * batch as u64;
+                            if start >= range.end {
+                                break;
+                            }
+                            let end = (start + batch as u64).min(range.end);
+                            batch_buf.clear();
+                            for pos in start..end {
+                                batch_buf.push(sel.scenario_at(pos));
+                            }
+                            if obs {
+                                let now = live.fetch_add(batch_buf.len(), Ordering::Relaxed)
+                                    + batch_buf.len();
+                                pm_obs::count_max("sweep.scenario.live_peak", now as u64);
+                            }
+                            if let Some(t0) = idle_since {
+                                pm_obs::observe(
+                                    "sweep.queue_wait_ns",
+                                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                );
+                            }
+                            for (off, failed) in batch_buf.iter().enumerate() {
+                                let busy_t0 = obs.then(std::time::Instant::now);
+                                let r = run_one(failed);
+                                if let Some(t0) = busy_t0 {
+                                    pm_obs::count(
+                                        format!("sweep.worker.{w}.busy_ns"),
+                                        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                    );
+                                    pm_obs::count(format!("sweep.worker.{w}.cases"), 1);
+                                }
+                                let slot = (start - range.start) as usize + off;
+                                slots.lock().expect("no poisoned worker")[slot] = Some(r);
+                            }
+                            if obs {
+                                live.fetch_sub(batch_buf.len(), Ordering::Relaxed);
+                            }
+                            idle_since = obs.then(std::time::Instant::now);
+                        }
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("workers joined")
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect()
+        };
+        if let Some(events) = &self.opts.events {
+            events.sweep_finish();
+        }
+        out
     }
 }
 
@@ -329,6 +480,134 @@ mod tests {
                 assert!((a.total_delay - b.total_delay).abs() < 1e-9);
             }
         }
+    }
+
+    /// All metric-bearing fields of a case, as a comparable string.
+    fn case_fingerprint(c: &CaseResult) -> String {
+        let runs: Vec<String> = c
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}:{}:{}:{}",
+                    r.name,
+                    r.metrics.total_programmability,
+                    r.metrics.recovered_flows,
+                    r.metrics.min_programmability
+                )
+            })
+            .collect();
+        format!("{}|{}", c.label, runs.join(";"))
+    }
+
+    #[test]
+    fn streamed_sweep_matches_materialized_cases() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let opts = EvalOptions {
+            skip_optimal: true,
+            jobs: 4,
+            batch: 2,
+            ..Default::default()
+        };
+        let engine = SweepEngine::new(&net, opts);
+        for k in 1..=3 {
+            let streamed = engine.sweep(k);
+            // Reference: materialize the same colex sequence and run it
+            // through the explicit-case path.
+            let sel = engine.selection(k);
+            let cases: Vec<Vec<ControllerId>> =
+                (0..sel.len()).map(|p| sel.scenario_at(p)).collect();
+            let reference = engine.run_cases(&cases);
+            assert_eq!(streamed.len(), reference.len());
+            for (a, b) in streamed.iter().zip(&reference) {
+                assert_eq!(case_fingerprint(a), case_fingerprint(b), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_union_equals_unsharded() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let base = EvalOptions {
+            skip_optimal: true,
+            jobs: 3,
+            batch: 2,
+            ..Default::default()
+        };
+        let full: Vec<String> = SweepEngine::new(&net, base.clone())
+            .sweep(2)
+            .iter()
+            .map(case_fingerprint)
+            .collect();
+        for m in [1usize, 2, 4] {
+            let mut union = Vec::new();
+            for i in 1..=m {
+                let opts = EvalOptions {
+                    shard: Some((i, m)),
+                    ..base.clone()
+                };
+                union.extend(
+                    SweepEngine::new(&net, opts)
+                        .sweep(2)
+                        .iter()
+                        .map(case_fingerprint),
+                );
+            }
+            assert_eq!(union, full, "m = {m} shards must reassemble the sweep");
+        }
+    }
+
+    #[test]
+    fn max_scenarios_caps_and_seeds_the_sweep() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let opts = |max: Option<u64>, seed: u64| EvalOptions {
+            skip_optimal: true,
+            jobs: 2,
+            max_scenarios: max,
+            seed,
+            ..Default::default()
+        };
+        // C(6, 3) = 20; a budget of 8 samples, a budget of 100 does not.
+        let sampled = SweepEngine::new(&net, opts(Some(8), 1)).sweep(3);
+        assert_eq!(sampled.len(), 8);
+        let again = SweepEngine::new(&net, opts(Some(8), 1)).sweep(3);
+        assert_eq!(
+            sampled.iter().map(case_fingerprint).collect::<Vec<_>>(),
+            again.iter().map(case_fingerprint).collect::<Vec<_>>(),
+        );
+        let exhaustive = SweepEngine::new(&net, opts(Some(100), 1)).sweep(3);
+        assert_eq!(exhaustive.len(), 20, "oversized budget stays exhaustive");
+    }
+
+    #[test]
+    fn live_scenario_peak_stays_within_jobs_times_batch() {
+        // The recorder is process-global; this is the only pm-bench unit
+        // test that enables it, so the counters below are all ours.
+        pm_obs::enable();
+        pm_obs::reset();
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let opts = EvalOptions {
+            skip_optimal: true,
+            jobs: 2,
+            batch: 3,
+            ..Default::default()
+        };
+        SweepEngine::new(&net, opts).sweep(2);
+        let snap = pm_obs::snapshot();
+        let peak = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "sweep.scenario.live_peak")
+            .map(|&(_, v)| v)
+            .expect("live peak recorded");
+        assert!(peak >= 1, "peak observed");
+        assert!(peak <= 2 * 3, "peak {peak} exceeds jobs * batch");
+        let space = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "sweep.scenario.space_size")
+            .map(|&(_, v)| v);
+        assert_eq!(space, Some(15), "C(6,2) recorded");
     }
 
     #[test]

@@ -69,6 +69,8 @@ USAGE:
   pmctl simulate --fail N[,N..] [--algo ...] [--cascade] [network options]
   pmctl relieve  --fail N[,N..] [--algo ...] [--moves M] [network options]
   pmctl inspect  --fail N[,N..] [network options]
+  pmctl sweep    [--failures K] [--jobs N] [--shard i/m] [--max-scenarios N]
+                 [--seed N] [--batch N] [--csv DIR] [network options]
   pmctl obs      report|diff|gate ...   (see pmctl obs help)
 
 Failed controllers are named by the node they sit at (the paper's
@@ -127,6 +129,7 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&rest, out),
         "relieve" => cmd_relieve(&rest, out),
         "inspect" => cmd_inspect(&rest, out),
+        "sweep" => cmd_sweep(&rest, out),
         "obs" => obs_cmd::cmd_obs(&rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
@@ -226,24 +229,13 @@ fn build_network(spec: &NetworkSpec) -> Result<SdWan, CliError> {
                 .map_err(|e| CliError::runtime(format!("cannot load {}: {e}", path.display())))?;
             let sites = place_controllers(&g, spec.controllers, PlacementStrategy::KCenter)
                 .map_err(|e| CliError::runtime(format!("placement failed: {e}")))?;
-            // Auto-size capacity: probe loads, then add 10 % headroom.
-            let mut probe = SdWanBuilder::new(g.clone());
-            for &s in &sites {
-                probe = probe.controller(s, u32::MAX / 4);
-            }
-            let probe = probe
-                .build()
-                .map_err(|e| CliError::runtime(format!("cannot build network: {e}")))?;
-            let capacity = spec.capacity.unwrap_or_else(|| {
-                let max = (0..sites.len())
-                    .map(|c| probe.controller_load(ControllerId(c)))
-                    .max()
-                    .unwrap_or(1);
-                (max as f64 * 1.1) as u32 + 1
-            });
             let mut b = SdWanBuilder::new(g);
             for &s in &sites {
-                b = b.controller(s, capacity);
+                b = b.controller(s, spec.capacity.unwrap_or(0));
+            }
+            if spec.capacity.is_none() {
+                // Auto-size capacity from the realized loads, 10 % headroom.
+                b = b.auto_capacity(1.1);
             }
             b.build()
                 .map_err(|e| CliError::runtime(format!("cannot build network: {e}")))
@@ -742,6 +734,137 @@ fn cmd_relieve(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_sweep(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let failures = match take_str_flag(&mut args, "--failures")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--failures: bad number {v}")))?,
+        None => 1,
+    };
+    let mut opts = pm_bench::EvalOptions {
+        skip_optimal: true,
+        ..Default::default()
+    };
+    if let Some(v) = take_str_flag(&mut args, "--jobs")? {
+        opts.jobs = v
+            .parse()
+            .ok()
+            .filter(|&j| j > 0)
+            .ok_or_else(|| CliError::usage(format!("--jobs: bad number {v}")))?;
+    }
+    if let Some(v) = take_str_flag(&mut args, "--shard")? {
+        opts.shard = Some(pm_bench::harness::parse_shard(&v).ok_or_else(|| {
+            CliError::usage(format!("--shard needs i/m with 1 <= i <= m, got {v}"))
+        })?);
+    }
+    if let Some(v) = take_str_flag(&mut args, "--max-scenarios")? {
+        opts.max_scenarios = Some(
+            v.parse()
+                .ok()
+                .filter(|&m| m > 0)
+                .ok_or_else(|| CliError::usage(format!("--max-scenarios: bad number {v}")))?,
+        );
+    }
+    if let Some(v) = take_str_flag(&mut args, "--seed")? {
+        opts.seed = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--seed: bad number {v}")))?;
+    }
+    if let Some(v) = take_str_flag(&mut args, "--batch")? {
+        opts.batch = v
+            .parse()
+            .ok()
+            .filter(|&b| b > 0)
+            .ok_or_else(|| CliError::usage(format!("--batch: bad number {v}")))?;
+    }
+    let csv_dir = take_flag(&mut args, "--csv")?.map(PathBuf::from);
+    ensure_consumed(&args)?;
+
+    let m = net.controllers().len();
+    if failures == 0 || failures >= m {
+        return Err(CliError::usage(format!(
+            "--failures must leave at least one of the {m} controllers standing, got {failures}"
+        )));
+    }
+
+    let engine = pm_bench::SweepEngine::new(&net, opts.clone());
+    let sel = engine.selection(failures);
+    let range = sel.shard_range(opts.shard);
+    let _ = writeln!(
+        out,
+        "sweeping {} of {} {failures}-failure scenario(s){}{} on {} thread(s)",
+        range.end - range.start,
+        sel.space().count(),
+        if sel.is_sampled() {
+            " [seeded sample]"
+        } else {
+            ""
+        },
+        match opts.shard {
+            Some((i, m)) => format!(" [shard {i}/{m}]"),
+            None => String::new(),
+        },
+        opts.jobs
+    );
+    let cases = engine.sweep_selection(&sel);
+
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>12} {:>12}",
+        "case", "flows", "switches", "pm_total", "retro_total"
+    );
+    let mut rows = Vec::new();
+    for case in &cases {
+        let pm = case.run("PM").expect("heuristics always run");
+        let retro = case.run("RetroFlow").expect("heuristics always run");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>12} {:>12}",
+            case.label,
+            format!(
+                "{}/{}",
+                pm.metrics.recovered_flows, pm.metrics.recoverable_flows
+            ),
+            format!(
+                "{}/{}",
+                pm.metrics.recovered_switches, pm.metrics.offline_switches
+            ),
+            pm.metrics.total_programmability,
+            retro.metrics.total_programmability
+        );
+        rows.push(vec![
+            case.label.clone(),
+            pm.metrics.offline_switches.to_string(),
+            pm.metrics.offline_flows.to_string(),
+            retro.metrics.total_programmability.to_string(),
+            pm.metrics.total_programmability.to_string(),
+            retro.metrics.recovered_flows.to_string(),
+            pm.metrics.recovered_flows.to_string(),
+        ]);
+    }
+    if let Some(dir) = &csv_dir {
+        pm_bench::report::write_csv(
+            dir,
+            "sweep_cases",
+            &[
+                "case",
+                "offline_switches",
+                "offline_flows",
+                "retro_programmability",
+                "pm_programmability",
+                "retro_recovered_flows",
+                "pm_recovered_flows",
+            ],
+            &rows,
+        );
+        let _ = writeln!(out, "per-case CSV written to {}", dir.display());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -973,5 +1096,75 @@ mod tests {
     fn bad_algo_rejected() {
         let e = run_err(&["plan", "--fail", "13", "--algo", "magic"]);
         assert!(e.message.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn sweep_runs_every_single_failure_case() {
+        let text = run_ok(&["sweep", "--jobs", "2"]);
+        assert!(
+            text.contains("sweeping 6 of 6 1-failure scenario(s)"),
+            "{text}"
+        );
+        // One row per controller, labeled by node id.
+        for site in ["(2)", "(5)", "(6)", "(13)", "(20)", "(22)"] {
+            assert!(text.contains(site), "missing case {site}: {text}");
+        }
+    }
+
+    #[test]
+    fn sweep_caps_scenarios_with_a_seeded_sample() {
+        let text = run_ok(&["sweep", "--failures", "2", "--max-scenarios", "5"]);
+        assert!(text.contains("sweeping 5 of 15"), "{text}");
+        assert!(text.contains("[seeded sample]"), "{text}");
+        // The same seed reproduces the same sample; a different one may not.
+        let again = run_ok(&["sweep", "--failures", "2", "--max-scenarios", "5"]);
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn sweep_shard_union_matches_unsharded_csv() {
+        let dir = std::env::temp_dir().join("pmctl_sweep_shard_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let full_dir = dir.join("full");
+        run_ok_os(&argv(
+            &["sweep", "--failures", "2"],
+            &[("--csv", &full_dir)],
+        ));
+        let full = std::fs::read_to_string(full_dir.join("sweep_cases.csv")).unwrap();
+        let mut merged = String::new();
+        for i in 1..=3 {
+            let shard_dir = dir.join(format!("shard{i}"));
+            run_ok_os(&argv(
+                &[
+                    "sweep",
+                    "--failures",
+                    "2",
+                    "--shard",
+                    &format!("{i}/3"),
+                    "--jobs",
+                    "2",
+                ],
+                &[("--csv", &shard_dir)],
+            ));
+            let text = std::fs::read_to_string(shard_dir.join("sweep_cases.csv")).unwrap();
+            let (header, body) = text.split_once('\n').unwrap();
+            if merged.is_empty() {
+                merged.push_str(header);
+                merged.push('\n');
+            }
+            merged.push_str(body);
+        }
+        assert_eq!(full, merged, "shard outputs must merge byte-identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        assert_eq!(run_err(&["sweep", "--failures", "0"]).code, 2);
+        assert_eq!(run_err(&["sweep", "--failures", "6"]).code, 2);
+        assert_eq!(run_err(&["sweep", "--shard", "3/2"]).code, 2);
+        assert_eq!(run_err(&["sweep", "--max-scenarios", "0"]).code, 2);
+        assert_eq!(run_err(&["sweep", "--batch", "0"]).code, 2);
+        assert_eq!(run_err(&["sweep", "--jobs", "0"]).code, 2);
     }
 }

@@ -340,6 +340,19 @@ pub fn count(name: impl Into<String>, delta: u64) {
     *inner.counters.entry(name.into()).or_insert(0) += delta;
 }
 
+/// Raises the counter `name` to `value` if it is currently lower — a
+/// high-water mark with counter storage and export (the sweep engine uses
+/// it for peak live-scenario accounting). No-op while disabled.
+#[inline]
+pub fn count_max(name: impl Into<String>, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut inner = recorder().lock();
+    let slot = inner.counters.entry(name.into()).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
 /// Records `value` into the fixed-bucket histogram `name`. No-op while
 /// disabled.
 #[inline]
@@ -481,6 +494,18 @@ mod tests {
         assert_eq!(hist.min(), 0);
         assert_eq!(hist.max(), 1_000_000);
         assert_eq!(hist.nonzero_buckets().len(), 3);
+    }
+
+    #[test]
+    fn count_max_keeps_the_high_water_mark() {
+        let _g = guard();
+        enable();
+        reset();
+        count_max("test.peak", 4);
+        count_max("test.peak", 9);
+        count_max("test.peak", 6);
+        let snap = snapshot();
+        assert_eq!(snap.counters, vec![("test.peak".to_string(), 9)]);
     }
 
     #[test]

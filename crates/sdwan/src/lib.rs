@@ -45,6 +45,7 @@ pub mod hybrid;
 pub mod index;
 pub mod metrics;
 pub mod network;
+pub mod partition;
 pub mod placement;
 pub mod plan;
 pub mod programmability;
@@ -59,6 +60,7 @@ pub use error::SdwanError;
 pub use index::{FlowSwitchTable, IndexSpace};
 pub use metrics::{BoxStats, PlanMetrics};
 pub use network::{Controller, ControllerId, Flow, FlowId, SdWan, SwitchId};
+pub use partition::{nearest_controller_partition, spread_controllers};
 pub use placement::{place_controllers, PlacementStrategy};
 pub use plan::RecoveryPlan;
 pub use programmability::Programmability;

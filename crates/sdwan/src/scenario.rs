@@ -4,6 +4,7 @@ use crate::cache::NetCache;
 use crate::network::{Controller, ControllerId, Flow, FlowId, SdWan, SwitchId};
 use crate::SdwanError;
 use pm_topo::{att, paths, Graph, NodeId};
+use std::collections::HashMap;
 
 /// Builder for an [`SdWan`].
 ///
@@ -30,6 +31,9 @@ pub struct SdWanBuilder {
     domains: Option<Vec<Vec<usize>>>,
     flow_pairs: FlowSpec,
     allow_overload: bool,
+    /// When set, replace every controller capacity with a uniform value of
+    /// `max_normal_load * headroom + 1` after routing.
+    auto_capacity: Option<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -47,6 +51,7 @@ impl SdWanBuilder {
             domains: None,
             flow_pairs: FlowSpec::AllPairs,
             allow_overload: false,
+            auto_capacity: None,
         }
     }
 
@@ -106,6 +111,17 @@ impl SdWanBuilder {
         self
     }
 
+    /// Sizes every controller uniformly from the realized load: after
+    /// routing, each capacity becomes `max_normal_load * headroom + 1`
+    /// (truncated), overriding the per-controller values. With
+    /// `headroom >= 1.0` the overload check then passes by construction —
+    /// the single-pass replacement for the probe-build-then-rebuild idiom
+    /// on generated topologies whose loads are unknown up front.
+    pub fn auto_capacity(mut self, headroom: f64) -> Self {
+        self.auto_capacity = Some(headroom);
+        self
+    }
+
     /// Builds the network.
     ///
     /// # Errors
@@ -113,10 +129,12 @@ impl SdWanBuilder {
     /// Returns [`SdwanError::InvalidNetwork`] if there are no controllers, a
     /// controller node is out of range, the topology is disconnected (with
     /// all-pairs flows), the explicit domains do not partition the switch
-    /// set, a flow endpoint is invalid, or (unless [`allow_overload`]) a
-    /// controller's normal load exceeds its capacity.
+    /// set, a flow endpoint is invalid, an [`auto_capacity`] headroom is
+    /// below 1 or not finite, or (unless [`allow_overload`]) a controller's
+    /// normal load exceeds its capacity.
     ///
     /// [`allow_overload`]: SdWanBuilder::allow_overload
+    /// [`auto_capacity`]: SdWanBuilder::auto_capacity
     pub fn build(self) -> Result<SdWan, SdwanError> {
         let n = self.topology.node_count();
         if self.controllers.is_empty() {
@@ -126,13 +144,29 @@ impl SdWanBuilder {
             self.topology.check_node(c.node)?;
         }
 
-        // Shortest-path trees from every node (flow routing + delays).
+        if let Some(headroom) = self.auto_capacity {
+            if !headroom.is_finite() || headroom < 1.0 {
+                return Err(SdwanError::InvalidNetwork(format!(
+                    "auto_capacity headroom {headroom} must be a finite value >= 1"
+                )));
+            }
+        }
+
         if !self.topology.is_connected() {
             return Err(SdwanError::InvalidNetwork(
                 "topology must be connected".into(),
             ));
         }
-        let spts = paths::all_pairs(&self.topology);
+        // One Dijkstra per controller covers domains and control delays;
+        // flow routing runs one Dijkstra per distinct flow source, computed
+        // lazily below. On all-pairs traffic this matches the former
+        // all-pairs precomputation; on explicit flows the cost scales with
+        // the source pool instead of the node count.
+        let ctrl_spts: Vec<paths::ShortestPathTree> = self
+            .controllers
+            .iter()
+            .map(|c| paths::dijkstra(&self.topology, c.node))
+            .collect();
 
         // Domains.
         let domain: Vec<ControllerId> = match &self.domains {
@@ -174,8 +208,8 @@ impl SdWanBuilder {
                     .map(|s| {
                         let mut best = ControllerId(0);
                         let mut best_d = f64::INFINITY;
-                        for (c, ctrl) in self.controllers.iter().enumerate() {
-                            let d = spts[ctrl.node.index()].distances()[s];
+                        for (c, _) in self.controllers.iter().enumerate() {
+                            let d = ctrl_spts[c].distances()[s];
                             if d < best_d {
                                 best_d = d;
                                 best = ControllerId(c);
@@ -203,6 +237,7 @@ impl SdWanBuilder {
             FlowSpec::Explicit(p) => p.clone(),
         };
         let mut flows = Vec::with_capacity(pairs.len());
+        let mut src_spts: HashMap<usize, paths::ShortestPathTree> = HashMap::new();
         for (src, dst) in pairs {
             if src.0 >= n {
                 return Err(SdwanError::UnknownSwitch(src));
@@ -215,7 +250,9 @@ impl SdWanBuilder {
                     "flow {src}->{dst} is a loop"
                 )));
             }
-            let path = spts[src.0]
+            let path = src_spts
+                .entry(src.0)
+                .or_insert_with(|| paths::dijkstra(&self.topology, src.node()))
                 .path_to(dst.node())
                 .ok_or_else(|| SdwanError::InvalidNetwork(format!("{src} cannot reach {dst}")))?;
             flows.push(Flow {
@@ -235,15 +272,10 @@ impl SdWanBuilder {
 
         // Switch-to-controller delays.
         let ctrl_delay: Vec<Vec<f64>> = (0..n)
-            .map(|s| {
-                self.controllers
-                    .iter()
-                    .map(|c| spts[c.node.index()].distances()[s])
-                    .collect()
-            })
+            .map(|s| ctrl_spts.iter().map(|spt| spt.distances()[s]).collect())
             .collect();
 
-        let net = SdWan {
+        let mut net = SdWan {
             topology: self.topology,
             controllers: self.controllers,
             domain,
@@ -251,6 +283,17 @@ impl SdWanBuilder {
             flows_at,
             ctrl_delay,
         };
+
+        if let Some(headroom) = self.auto_capacity {
+            let max_load = (0..net.controllers.len())
+                .map(|c| net.controller_load(ControllerId(c)))
+                .max()
+                .unwrap_or(0);
+            let capacity = (max_load as f64 * headroom) as u32 + 1;
+            for c in &mut net.controllers {
+                c.capacity = capacity;
+            }
+        }
 
         if !self.allow_overload {
             for c in 0..net.controllers.len() {
@@ -640,6 +683,38 @@ mod tests {
             .allow_overload()
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn auto_capacity_sizes_controllers_from_the_realized_load() {
+        // Capacity 0 would fail the overload check; auto_capacity must
+        // override it with a uniform value that fits the heaviest domain.
+        let net = SdWanBuilder::new(builders::ring(6))
+            .controller(NodeId(0), 0)
+            .controller(NodeId(3), 0)
+            .auto_capacity(1.1)
+            .build()
+            .unwrap();
+        let max_load = (0..2)
+            .map(|c| net.controller_load(ControllerId(c)))
+            .max()
+            .unwrap();
+        let expect = (max_load as f64 * 1.1) as u32 + 1;
+        for c in net.controllers() {
+            assert_eq!(c.capacity, expect);
+        }
+        assert!(net.controllers()[0].capacity > max_load);
+    }
+
+    #[test]
+    fn auto_capacity_rejects_bad_headroom() {
+        for headroom in [0.5, f64::NAN, f64::INFINITY] {
+            let err = SdWanBuilder::new(builders::ring(6))
+                .controller(NodeId(0), 0)
+                .auto_capacity(headroom)
+                .build();
+            assert!(err.is_err(), "headroom {headroom} should be rejected");
+        }
     }
 
     #[test]

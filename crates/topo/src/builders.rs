@@ -155,62 +155,57 @@ pub fn waxman(params: &WaxmanParams) -> Result<Graph, TopoError> {
     let mut rng = DetRng::seed_from_u64(params.seed);
     let mut g = Graph::with_capacity(params.nodes);
     let half = params.region_degrees / 2.0;
+    let mut positions = Vec::with_capacity(params.nodes);
     for i in 0..params.nodes {
         let lat = 38.0 + rng.gen_range(-half, half) * 0.5; // squash latitude a bit
         let lon = -96.0 + rng.gen_range(-half, half);
-        g.add_node(format!("w{i}"), Some(GeoPoint::new(lat, lon)));
+        let p = GeoPoint::new(lat, lon);
+        positions.push(p);
+        g.add_node(format!("w{i}"), Some(p));
     }
     // Maximum pairwise distance for the Waxman probability scale.
     let mut max_d: f64 = 0.0;
     for i in 0..params.nodes {
         for j in i + 1..params.nodes {
-            let d = g
-                .node(NodeId(i))
-                .position
-                .expect("set above")
-                .haversine_km(&g.node(NodeId(j)).position.expect("set above"));
-            max_d = max_d.max(d);
+            max_d = max_d.max(positions[i].haversine_km(&positions[j]));
         }
     }
     for i in 0..params.nodes {
         for j in i + 1..params.nodes {
-            let d = g
-                .node(NodeId(i))
-                .position
-                .expect("set above")
-                .haversine_km(&g.node(NodeId(j)).position.expect("set above"));
+            let d = positions[i].haversine_km(&positions[j]);
             let p = params.alpha * (-d / (params.beta * max_d)).exp();
             if rng.gen_bool(p) {
                 g.add_geo_edge(NodeId(i), NodeId(j))?;
             }
         }
     }
-    // Guarantee connectivity: link each component to the previous node.
+    // Guarantee connectivity: link each unreached component to the previous
+    // node. Once node `i` has been processed it reaches node 0, so linking a
+    // later component to `i` always merges it into node 0's component; the
+    // incremental flood keeps the whole pass O(n + m).
+    let mut reached = vec![false; params.nodes];
+    flood_from(&g, NodeId(0), &mut reached);
     for i in 1..params.nodes {
-        if !reaches_zero(&g, NodeId(i)) {
+        if !reached[i] {
             g.add_geo_edge(NodeId(i), NodeId(i - 1))?;
+            flood_from(&g, NodeId(i), &mut reached);
         }
     }
     debug_assert!(g.is_connected());
     Ok(g)
 }
 
-fn reaches_zero(g: &Graph, from: NodeId) -> bool {
-    let mut seen = vec![false; g.node_count()];
+fn flood_from(g: &Graph, from: NodeId, reached: &mut [bool]) {
     let mut stack = vec![from];
-    seen[from.0] = true;
+    reached[from.0] = true;
     while let Some(v) = stack.pop() {
-        if v == NodeId(0) {
-            return true;
-        }
         for u in g.neighbors(v) {
-            if !seen[u.0] {
-                seen[u.0] = true;
+            if !reached[u.0] {
+                reached[u.0] = true;
                 stack.push(u);
             }
         }
     }
-    false
 }
 
 #[cfg(test)]
@@ -301,6 +296,107 @@ mod tests {
             ..Default::default()
         })
         .is_err());
+    }
+
+    /// Seed determinism at the storage level: two builds must produce the
+    /// same dense adjacency arcs node by node, not merely compare equal as
+    /// graphs.
+    #[test]
+    fn generators_reproduce_identical_adjacency_arcs() {
+        let same_arcs = |a: &Graph, b: &Graph| {
+            assert_eq!(a.node_count(), b.node_count());
+            for v in a.nodes() {
+                assert_eq!(a.adjacency(v), b.adjacency(v), "arcs differ at {v:?}");
+            }
+        };
+        for &(nodes, seed) in &[(10usize, 0u64), (10, 3), (40, 9), (64, 1234)] {
+            let p = WaxmanParams {
+                nodes,
+                seed,
+                ..Default::default()
+            };
+            same_arcs(&waxman(&p).unwrap(), &waxman(&p).unwrap());
+        }
+        same_arcs(&ring(12), &ring(12));
+        same_arcs(&grid(4, 5), &grid(4, 5));
+    }
+
+    /// Connectivity post-condition: the spanning pass must repair even
+    /// regimes where sampling alone leaves many components (tiny β) and
+    /// degenerate sizes.
+    #[test]
+    fn waxman_stays_connected_across_sparse_regimes() {
+        for &nodes in &[2usize, 5, 30, 120] {
+            for seed in 0..8u64 {
+                let g = waxman(&WaxmanParams {
+                    nodes,
+                    alpha: 0.2,
+                    beta: 0.05,
+                    seed,
+                    ..Default::default()
+                })
+                .unwrap();
+                assert_eq!(g.node_count(), nodes);
+                assert!(g.is_connected(), "nodes={nodes} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn waxman_rejects_each_bad_parameter() {
+        let bad = [
+            WaxmanParams {
+                nodes: 0,
+                ..Default::default()
+            },
+            WaxmanParams {
+                alpha: 1.5,
+                ..Default::default()
+            },
+            WaxmanParams {
+                beta: 0.0,
+                ..Default::default()
+            },
+            WaxmanParams {
+                region_degrees: 0.0,
+                ..Default::default()
+            },
+            WaxmanParams {
+                region_degrees: f64::NAN,
+                ..Default::default()
+            },
+        ];
+        for p in &bad {
+            assert!(waxman(p).is_err(), "accepted {p:?}");
+        }
+        // The inclusive upper bounds are legal.
+        assert!(waxman(&WaxmanParams {
+            alpha: 1.0,
+            beta: 1.0,
+            nodes: 6,
+            ..Default::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn grid_rejects_zero_dimension() {
+        let _ = grid(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn star_rejects_single_node() {
+        let _ = star(1);
+    }
+
+    #[test]
+    fn degenerate_grid_is_a_path() {
+        let g = grid(1, 5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Properties of the colexicographic scenario space and the streaming
+//! sweep built on it: rank/unrank roundtrips, bijection over the whole
+//! space, and byte-identical shard unions.
+
+use pm_bench::{binomial, EvalOptions, ScenarioSelection, ScenarioSpace, SweepEngine};
+use pm_sdwan::{ControllerId, SdWan, SdWanBuilder};
+use pm_topo::rng::DetRng;
+use pm_topo::{builders, NodeId};
+use proptest::prelude::*;
+
+/// A sorted random `f`-subset of `0..n`, drawn without replacement.
+fn random_subset(rng: &mut DetRng, n: usize, f: usize) -> Vec<ControllerId> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..f {
+        let j = i + (rng.next_u64() as usize) % (n - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(f);
+    pool.sort_unstable();
+    pool.into_iter().map(ControllerId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `unrank(rank(s)) == s` for random subsets over n ≤ 64, f ≤ 6.
+    #[test]
+    fn unrank_inverts_rank(spec in (1usize..=64, 1usize..=6, 0u64..1_000_000)
+        .prop_filter_map("f <= n", |(n, f, seed)| (f <= n).then_some((n, f, seed))))
+    {
+        let (n, f, seed) = spec;
+        let space = ScenarioSpace::new(n, f);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let subset = random_subset(&mut rng, n, f);
+        let rank = space.rank(&subset);
+        prop_assert!(rank < space.count(), "rank {} out of range {}", rank, space.count());
+        prop_assert_eq!(space.unrank(rank), subset);
+    }
+
+    /// `rank(unrank(r)) == r` for random ranks over the same shapes.
+    #[test]
+    fn rank_inverts_unrank(spec in (1usize..=64, 1usize..=6, 0u64..u64::MAX)
+        .prop_filter_map("f <= n", |(n, f, seed)| (f <= n).then_some((n, f, seed))))
+    {
+        let (n, f, seed) = spec;
+        let space = ScenarioSpace::new(n, f);
+        let rank = seed % space.count();
+        let subset = space.unrank(rank);
+        prop_assert_eq!(subset.len(), f);
+        prop_assert!(subset.windows(2).all(|w| w[0] < w[1]), "not ascending: {:?}", subset);
+        prop_assert!(subset.last().unwrap().0 < n);
+        prop_assert_eq!(space.rank(&subset), rank);
+    }
+}
+
+/// Exhaustive bijection check on every small shape: unranking the whole
+/// range yields each subset exactly once, in strictly increasing colex
+/// order, and ranking maps each back.
+#[test]
+fn unrank_is_a_bijection_for_small_spaces() {
+    for n in 1..=10usize {
+        for f in 1..=n {
+            let space = ScenarioSpace::new(n, f);
+            assert_eq!(space.count(), binomial(n, f), "C({n},{f})");
+            let mut prev: Option<Vec<ControllerId>> = None;
+            for rank in 0..space.count() {
+                let subset = space.unrank(rank);
+                assert_eq!(space.rank(&subset), rank, "n={n} f={f}");
+                if let Some(prev) = &prev {
+                    // Colex order: the reversed sequences compare
+                    // lexicographically, so strict growth means all-distinct
+                    // and properly ordered in one check.
+                    let colex = |s: &Vec<ControllerId>| -> Vec<ControllerId> {
+                        s.iter().rev().copied().collect()
+                    };
+                    assert!(
+                        colex(prev) < colex(&subset),
+                        "n={n} f={f} rank={rank}: {prev:?} !< {subset:?}"
+                    );
+                }
+                prev = Some(subset);
+            }
+        }
+    }
+}
+
+fn shard_test_net() -> SdWan {
+    // A 3×4 grid with four controllers: C(4,2) = 6 two-failure scenarios.
+    SdWanBuilder::new(builders::grid(3, 4))
+        .controller(NodeId(0), 500)
+        .controller(NodeId(3), 500)
+        .controller(NodeId(8), 500)
+        .controller(NodeId(11), 500)
+        .build()
+        .unwrap()
+}
+
+/// The deterministic slice of a sweep's output that shard unions must
+/// reproduce byte-for-byte: labels, failed sets and all plan metrics —
+/// everything except wall-clock timings.
+fn fingerprint(cases: &[pm_bench::CaseResult]) -> String {
+    let mut out = String::new();
+    for case in cases {
+        out.push_str(&case.label);
+        for run in &case.runs {
+            out.push_str(&format!(
+                "|{}:{}:{}:{}:{:.9}",
+                run.name,
+                run.metrics.total_programmability,
+                run.metrics.recovered_flows,
+                run.metrics.recovered_switches,
+                run.total_delay
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `--shard i/m` over all i, concatenated in rank order, must equal the
+/// unsharded sweep byte-for-byte — whatever the worker count.
+#[test]
+fn shard_union_is_byte_identical_across_job_counts() {
+    let net = shard_test_net();
+    let baseline = {
+        let opts = EvalOptions {
+            skip_optimal: true,
+            jobs: 1,
+            ..Default::default()
+        };
+        let engine = SweepEngine::new(&net, opts);
+        fingerprint(&engine.sweep(2))
+    };
+    for jobs in [1usize, 8] {
+        for m in [1usize, 2, 3, 6] {
+            let mut merged = String::new();
+            for i in 1..=m {
+                let opts = EvalOptions {
+                    skip_optimal: true,
+                    jobs,
+                    shard: Some((i, m)),
+                    batch: 2,
+                    ..Default::default()
+                };
+                let engine = SweepEngine::new(&net, opts);
+                merged.push_str(&fingerprint(&engine.sweep(2)));
+            }
+            assert_eq!(
+                baseline, merged,
+                "shard union diverged at jobs={jobs} m={m}"
+            );
+        }
+    }
+}
+
+/// Sharding composes with sampling: shards of a sampled selection cover
+/// exactly the sampled ranks, in order, with no overlap.
+#[test]
+fn shards_partition_a_sampled_selection() {
+    let space = ScenarioSpace::new(12, 3); // C(12,3) = 220
+    let sel = ScenarioSelection::sampled(space, 37, 7);
+    assert!(sel.is_sampled());
+    assert_eq!(sel.len(), 37);
+    let all: Vec<u64> = (0..sel.len()).map(|p| sel.rank_at(p)).collect();
+    for m in [1usize, 2, 5, 37, 40] {
+        let mut union = Vec::new();
+        for i in 1..=m {
+            let range = sel.shard_range(Some((i, m)));
+            for p in range {
+                union.push(sel.rank_at(p));
+            }
+        }
+        assert_eq!(union, all, "m={m}");
+    }
+}
