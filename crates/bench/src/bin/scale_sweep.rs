@@ -26,11 +26,8 @@
 use pm_bench::figures::{write_bench_scale_json, ScaleRunInfo};
 use pm_bench::harness::EvalOptions;
 use pm_bench::report::{render_table, write_csv};
+use pm_bench::wan::{build_wan, scale_beta, WanSpec};
 use pm_bench::{timing_stats, SweepEngine};
-use pm_sdwan::{nearest_controller_partition, spread_controllers, SdWanBuilder, SwitchId};
-use pm_topo::builders::{waxman, WaxmanParams};
-use pm_topo::rng::DetRng;
-use std::collections::HashSet;
 
 struct ScaleArgs {
     nodes: usize,
@@ -121,38 +118,6 @@ fn parse_scale_args(rest: Vec<String>) -> ScaleArgs {
     sa
 }
 
-/// `size` distinct node indices, chosen by a partial Fisher–Yates shuffle.
-fn sample_pool(rng: &mut DetRng, n: usize, size: usize) -> Vec<usize> {
-    let mut all: Vec<usize> = (0..n).collect();
-    let size = size.min(n);
-    for i in 0..size {
-        let j = i + (rng.next_u64() as usize) % (n - i);
-        all.swap(i, j);
-    }
-    all.truncate(size);
-    all
-}
-
-/// Up to `want` distinct `(src, dst)` pairs over bounded endpoint pools, so
-/// the per-source and per-destination shortest-path caches stay small no
-/// matter how large the topology is.
-fn sample_flows(rng: &mut DetRng, n: usize, want: usize) -> Vec<(SwitchId, SwitchId)> {
-    let pool = sample_pool(rng, n, 192.min(n));
-    let mut pairs = Vec::with_capacity(want);
-    let mut seen = HashSet::new();
-    let mut misses = 0usize;
-    while pairs.len() < want && misses < 20 * want + 100 {
-        let src = pool[(rng.next_u64() as usize) % pool.len()];
-        let dst = pool[(rng.next_u64() as usize) % pool.len()];
-        if src == dst || !seen.insert((src, dst)) {
-            misses += 1;
-            continue;
-        }
-        pairs.push((SwitchId(src), SwitchId(dst)));
-    }
-    pairs
-}
-
 fn main() {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         eprintln!(
@@ -177,51 +142,28 @@ fn main() {
     // telemetry export was requested.
     pm_obs::enable();
 
-    let beta = (0.2 * (29.0 / (sa.nodes.max(2) as f64 - 1.0)).sqrt()).min(0.35);
-    let params = WaxmanParams {
-        nodes: sa.nodes,
-        beta,
-        seed: opts.seed,
-        ..Default::default()
-    };
     eprintln!(
         "scale_sweep: generating waxman n={} (beta {:.4}, seed {})...",
-        sa.nodes, beta, opts.seed
+        sa.nodes,
+        scale_beta(sa.nodes),
+        opts.seed
     );
-    let g = {
-        let _span = pm_obs::span("scale.topology");
-        waxman(&params).expect("waxman parameters are valid")
-    };
-    let edges = g.edge_count();
-    let (sites, domains, flows) = {
-        let _span = pm_obs::span("scale.placement");
-        let sites = spread_controllers(&g, sa.controllers).expect("connected by construction");
-        let domains = nearest_controller_partition(&g, &sites).expect("sites are valid");
-        let mut rng = DetRng::seed_from_u64(opts.seed ^ 0x5ca1e5eed);
-        let flows = sample_flows(&mut rng, sa.nodes, sa.flows);
-        (sites, domains, flows)
-    };
-    let flow_count = flows.len();
+    let wan = build_wan(&WanSpec {
+        nodes: sa.nodes,
+        controllers: sa.controllers,
+        flows: sa.flows,
+        headroom: sa.headroom,
+        seed: opts.seed,
+    });
+    let (net, edges, flow_count) = (&wan.net, wan.edges, wan.flows);
     eprintln!(
-        "scale_sweep: {} edges, {} controllers, {} flows; building network...",
+        "scale_sweep: {} edges, {} controllers, {} flows; network built...",
         edges,
-        sites.len(),
+        net.controllers().len(),
         flow_count
     );
-    let net = {
-        let _span = pm_obs::span("scale.build");
-        let mut b = SdWanBuilder::new(g);
-        for &s in &sites {
-            b = b.controller(s, 0);
-        }
-        b.domains(domains)
-            .explicit_flows(flows)
-            .auto_capacity(sa.headroom)
-            .build()
-            .expect("generated network is valid")
-    };
 
-    let engine = SweepEngine::new(&net, opts.clone());
+    let engine = SweepEngine::new(net, opts.clone());
     let sel = engine.selection(sa.failures);
     let range = sel.shard_range(opts.shard);
     let cases_run = (range.end - range.start) as usize;
@@ -262,7 +204,7 @@ fn main() {
         nodes: sa.nodes,
         edges,
         seed: opts.seed,
-        controllers: sites.len(),
+        controllers: net.controllers().len(),
         flows: flow_count,
         failures: sa.failures,
         space_size: sel.space().count(),

@@ -1,0 +1,280 @@
+//! Seeded failure-timeline sweep: replays thousands of event schedules —
+//! controller failures, recoveries, cascades, partitions, flow churn —
+//! against one large Waxman WAN through the streaming timeline engine.
+//!
+//! Timeline ids index a [`pm_simctl::TimelineSpace`] the way colex ranks
+//! index the scenario space, so `--shard i/m` and `--max-scenarios`
+//! compose unchanged: m shard outputs concatenated in shard order are
+//! byte-identical to the unsharded run, at any `--jobs` count.
+//!
+//! Artifacts: `BENCH_timeline.json` (pinned schema: topology,
+//! timeline-space accounting including the streaming-dispatch live peak,
+//! aggregate event totals, optional phase breakdown), plus — with
+//! `--csv DIR` — `timeline_cases.csv` and `timeline_cases.jsonl` holding
+//! only deterministic per-timeline outcomes.
+//!
+//! Run: `cargo run --release -p pm-bench --bin timeline_sweep --
+//! [--timelines N] [--nodes N] [--controllers K] [--flows N]
+//! [--headroom H] [--horizon-ms N] [--mean-gap-ms N] [--max-failed F]
+//! [--no-drain] plus the common sweep flags (`--jobs`, `--shard`,
+//! `--max-scenarios`, `--seed`, `--batch`, `--csv`, `--trace`,
+//! `--metrics`, `--prom`, `--events`, `--progress`)`
+
+use pm_bench::harness::EvalOptions;
+use pm_bench::report::{render_table, write_csv};
+use pm_bench::timelines::{timeline_rows, write_bench_timeline_json, TimelineRunInfo};
+use pm_bench::wan::{build_wan, WanSpec};
+use pm_bench::{SweepEngine, TIMELINE_CASE_HEADERS};
+use pm_simctl::{SimTime, TimelineParams};
+
+struct TimelineArgs {
+    timelines: u64,
+    nodes: usize,
+    controllers: usize,
+    flows: usize,
+    headroom: f64,
+    params: TimelineParams,
+}
+
+impl Default for TimelineArgs {
+    fn default() -> Self {
+        TimelineArgs {
+            timelines: 10_000,
+            nodes: 1000,
+            controllers: 32,
+            flows: 1024,
+            headroom: 1.5,
+            params: TimelineParams::default(),
+        }
+    }
+}
+
+fn parse_timeline_args(rest: Vec<String>) -> TimelineArgs {
+    let mut ta = TimelineArgs::default();
+    let mut it = rest.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs an argument");
+            std::process::exit(2);
+        })
+    };
+    fn parse_or_die<T: std::str::FromStr>(flag: &str, v: String) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs a numeric argument");
+            std::process::exit(2);
+        })
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timelines" => ta.timelines = parse_or_die(&a, value(&a, &mut it)),
+            "--nodes" => ta.nodes = parse_or_die(&a, value(&a, &mut it)),
+            "--controllers" => ta.controllers = parse_or_die(&a, value(&a, &mut it)),
+            "--flows" => ta.flows = parse_or_die(&a, value(&a, &mut it)),
+            "--headroom" => ta.headroom = parse_or_die(&a, value(&a, &mut it)),
+            "--horizon-ms" => {
+                ta.params.horizon = SimTime::from_ms(parse_or_die(&a, value(&a, &mut it)))
+            }
+            "--mean-gap-ms" => {
+                ta.params.mean_gap = SimTime::from_ms(parse_or_die(&a, value(&a, &mut it)))
+            }
+            "--max-failed" => ta.params.max_concurrent = parse_or_die(&a, value(&a, &mut it)),
+            "--no-drain" => ta.params.drain = false,
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if ta.timelines == 0 {
+        eprintln!("--timelines needs a positive integer argument");
+        std::process::exit(2);
+    }
+    if ta.controllers < 2 || ta.controllers > ta.nodes {
+        eprintln!(
+            "--controllers must be between 2 and --nodes ({} controllers, {} nodes)",
+            ta.controllers, ta.nodes
+        );
+        std::process::exit(2);
+    }
+    if ta.flows == 0 {
+        eprintln!("--flows needs a positive integer argument");
+        std::process::exit(2);
+    }
+    ta
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "timeline_sweep flags: [--timelines N] [--nodes N] [--controllers K]\n\
+             \x20                     [--flows N] [--headroom H] [--horizon-ms N]\n\
+             \x20                     [--mean-gap-ms N] [--max-failed F] [--no-drain]\n\
+             --timelines    seeded timelines to replay (default 10000)\n\
+             --nodes        Waxman switch count (default 1000)\n\
+             --controllers  placed controllers (default 32)\n\
+             --flows        routed flows over bounded endpoint pools (default 1024)\n\
+             --headroom     uniform auto-capacity factor over the peak load (default 1.5)\n\
+             --horizon-ms   event-generation horizon per timeline (default 10000)\n\
+             --mean-gap-ms  mean gap between timeline events (default 500)\n\
+             --max-failed   cap on simultaneously failed controllers (default 3)\n\
+             --no-drain     do not append recoveries after the horizon\n\
+             plus the common sweep flags:"
+        );
+    }
+    let mut rest = Vec::new();
+    let mut opts = EvalOptions::from_args_partial(std::env::args().skip(1), &mut rest);
+    let ta = parse_timeline_args(rest);
+    // Timelines solve with the two heuristics only, and eager cache
+    // warming would reintroduce the all-pairs cost the drill avoids.
+    opts.skip_optimal = true;
+    opts.eager_warm = false;
+    // The recorder backs the live-peak accounting even when no telemetry
+    // export was requested.
+    pm_obs::enable();
+
+    eprintln!(
+        "timeline_sweep: generating waxman n={} (seed {})...",
+        ta.nodes, opts.seed
+    );
+    let wan = build_wan(&WanSpec {
+        nodes: ta.nodes,
+        controllers: ta.controllers,
+        flows: ta.flows,
+        headroom: ta.headroom,
+        seed: opts.seed,
+    });
+    let net = &wan.net;
+    eprintln!(
+        "timeline_sweep: {} edges, {} controllers, {} flows; network built",
+        wan.edges,
+        net.controllers().len(),
+        wan.flows
+    );
+
+    let engine = SweepEngine::new(net, opts.clone());
+    let space = engine.timeline_space(ta.timelines, ta.params.clone());
+    let sel = engine.timeline_selection(&space);
+    let range = sel.shard_range(opts.shard);
+    let shard_note = match opts.shard {
+        Some((i, m)) => format!(" (shard {i}/{m} of {})", sel.len()),
+        None => String::new(),
+    };
+    eprintln!(
+        "timeline_sweep: {} of {} timeline(s){}{} on {} thread(s), batch {}...",
+        range.end - range.start,
+        space.count(),
+        if sel.is_sampled() { " [sampled]" } else { "" },
+        shard_note,
+        opts.jobs,
+        opts.batch
+    );
+    let t0 = std::time::Instant::now();
+    let reports = engine.sweep_timelines(&space, &sel);
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The streaming-dispatch contract: in-flight timelines never exceed
+    // jobs × batch. The dispatcher counts it; hold it to account here.
+    let snap = pm_obs::snapshot();
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let live_peak = counter("sim.sweep.live_peak");
+    let live_bound = (opts.jobs as u64).saturating_mul(opts.batch as u64);
+    assert!(
+        live_peak <= live_bound,
+        "timeline sweep had {live_peak} timelines in flight; \
+         the contract bound is jobs*batch = {live_bound}"
+    );
+
+    let info = TimelineRunInfo {
+        nodes: ta.nodes,
+        edges: wan.edges,
+        seed: opts.seed,
+        controllers: net.controllers().len(),
+        flows: wan.flows,
+        space_size: space.count(),
+        selected: sel.len(),
+        sampled: sel.is_sampled(),
+        shard: opts.shard,
+        timelines_run: reports.len(),
+        live_peak,
+        live_bound,
+    };
+
+    let solves: u64 = reports.iter().map(|r| r.solves as u64).sum();
+    let events: u64 = reports.iter().map(|r| r.events as u64).sum();
+    let recovered = reports.iter().filter(|r| r.fully_recovered).count();
+    println!(
+        "timeline_sweep — {} switches / {} controllers, {} timeline(s), \
+         {} event(s), {} solve(s)\n",
+        info.nodes,
+        info.controllers,
+        reports.len(),
+        events,
+        solves
+    );
+    let summary = vec![
+        vec!["timelines run".to_string(), reports.len().to_string()],
+        vec!["events replayed".to_string(), events.to_string()],
+        vec!["recovery solves".to_string(), solves.to_string()],
+        vec!["fully recovered".to_string(), recovered.to_string()],
+        vec![
+            "peak simultaneous failures".to_string(),
+            reports
+                .iter()
+                .map(|r| r.peak_failed)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
+        ],
+        vec![
+            "worst PM recovered (ppm of offline)".to_string(),
+            reports
+                .iter()
+                .map(|r| r.pm_worst_recovered_ppm)
+                .min()
+                .unwrap_or(1_000_000)
+                .to_string(),
+        ],
+    ];
+    print!("{}", render_table(&["metric", "value"], &summary));
+    println!(
+        "\ntimeline space {} -> selected {}{}; live peak {live_peak} <= bound {live_bound}",
+        info.space_size,
+        info.selected,
+        if info.sampled { " (seeded sample)" } else { "" }
+    );
+
+    if let Some(dir) = &opts.csv_dir {
+        let rows = timeline_rows(&reports);
+        write_csv(dir, "timeline_cases", &TIMELINE_CASE_HEADERS, &rows);
+        write_timeline_jsonl(dir, &rows);
+    }
+    write_bench_timeline_json(&opts, &info, sweep_ms, &reports);
+    opts.export_observability();
+}
+
+/// The same rows as `timeline_cases.csv`, one JSON object per line — the
+/// mergeable JSON counterpart for sharded runs. Every column is numeric.
+fn write_timeline_jsonl(dir: &std::path::Path, rows: &[Vec<String>]) {
+    let mut out = String::new();
+    for row in rows {
+        out.push('{');
+        for (i, (h, v)) in TIMELINE_CASE_HEADERS.iter().zip(row).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{h}\": {v}"));
+        }
+        out.push_str("}\n");
+    }
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join("timeline_cases.jsonl"), out))
+    {
+        eprintln!("warning: could not write timeline_cases.jsonl: {e}");
+    }
+}

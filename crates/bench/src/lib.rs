@@ -25,9 +25,13 @@ pub mod par;
 pub mod report;
 pub mod scenario_space;
 pub mod sweep;
+pub mod timelines;
+pub mod wan;
 
 pub use events::EventLog;
 pub use harness::{AlgoRun, CaseResult, EvalOptions};
-pub use par::{current_worker, par_map, timing_stats, SweepEngine, TimingStats};
+pub use par::{current_worker, par_map, stream_indexed, timing_stats, SweepEngine, TimingStats};
 pub use scenario_space::{binomial, ScenarioSelection, ScenarioSpace};
 pub use sweep::combinations;
+pub use timelines::{timeline_rows, TimelineRunInfo, TimelineSelection, TIMELINE_CASE_HEADERS};
+pub use wan::{build_wan, BuiltWan, WanSpec};

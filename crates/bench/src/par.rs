@@ -119,6 +119,110 @@ where
         .collect()
 }
 
+/// Streams the integer positions of `range` through a batch-claiming
+/// worker pool and returns `f(position)` results in **position order**,
+/// whatever the completion order — the generic core of the streaming
+/// dispatch contract: workers claim contiguous batches of `batch`
+/// positions through an atomic counter, so at most `jobs × batch`
+/// positions are in flight at once and output is independent of the job
+/// count.
+///
+/// When the [`pm_obs`] recorder is on, the dispatch records
+/// `{prefix}.live_peak` (high-water mark of in-flight positions),
+/// `{prefix}.worker.{w}.busy_ns` / `{prefix}.worker.{w}.items` and the
+/// `{prefix}.queue_wait_ns` histogram, mirroring the scenario sweep's
+/// counters under the caller's namespace.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any position (propagated when the worker
+/// scope joins).
+pub fn stream_indexed<R, F>(
+    range: Range<u64>,
+    jobs: usize,
+    batch: usize,
+    prefix: &str,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let total = usize::try_from(range.end.saturating_sub(range.start))
+        .expect("streamed result set fits memory");
+    let obs = pm_obs::enabled();
+    let jobs = jobs.clamp(1, total.max(1));
+    let batch = batch.max(1);
+    if jobs <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for pos in range {
+            if obs {
+                pm_obs::count_max(format!("{prefix}.live_peak"), 1);
+            }
+            out.push(f(pos));
+        }
+        return out;
+    }
+    let next = AtomicU64::new(0);
+    let live = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..total).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let (next, live, slots, f) = (&next, &live, &slots, &f);
+            let range = range.clone();
+            scope.spawn(move || {
+                WORKER_ID.with(|id| id.set(w));
+                if obs {
+                    pm_obs::set_thread_label(format!("{prefix}-worker-{w}"));
+                }
+                let mut idle_since = obs.then(std::time::Instant::now);
+                loop {
+                    let claim = next.fetch_add(1, Ordering::Relaxed);
+                    let start = range.start + claim * batch as u64;
+                    if start >= range.end {
+                        break;
+                    }
+                    let end = (start + batch as u64).min(range.end);
+                    let claimed = (end - start) as usize;
+                    if obs {
+                        let now = live.fetch_add(claimed, Ordering::Relaxed) + claimed;
+                        pm_obs::count_max(format!("{prefix}.live_peak"), now as u64);
+                    }
+                    if let Some(t0) = idle_since {
+                        pm_obs::observe(
+                            format!("{prefix}.queue_wait_ns"),
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
+                    for pos in start..end {
+                        let busy_t0 = obs.then(std::time::Instant::now);
+                        let r = f(pos);
+                        if let Some(t0) = busy_t0 {
+                            pm_obs::count(
+                                format!("{prefix}.worker.{w}.busy_ns"),
+                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                            pm_obs::count(format!("{prefix}.worker.{w}.items"), 1);
+                        }
+                        let slot = (pos - range.start) as usize;
+                        slots.lock().expect("no poisoned worker")[slot] = Some(r);
+                    }
+                    if obs {
+                        live.fetch_sub(claimed, Ordering::Relaxed);
+                    }
+                    idle_since = obs.then(std::time::Instant::now);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
 /// Runs failure sweeps against one network, in parallel, with every
 /// per-network quantity precomputed once.
 ///
@@ -450,6 +554,24 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, 4, |_, &x| x).is_empty());
         assert_eq!(par_map(&[5u32], 4, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn stream_indexed_matches_serial_and_preserves_position_order() {
+        // Uneven per-position cost so completion order differs from
+        // position order.
+        let f = |pos: u64| {
+            if pos % 5 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            pos * pos
+        };
+        let serial = stream_indexed(3..40, 1, 4, "test.stream", f);
+        let parallel = stream_indexed(3..40, 8, 4, "test.stream", f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0], 9);
+        assert_eq!(serial.len(), 37);
+        assert!(stream_indexed(5..5, 4, 4, "test.stream", |p| p).is_empty());
     }
 
     #[test]

@@ -242,6 +242,53 @@ fn uniform_below(rng: &mut DetRng, bound: u64) -> u64 {
     }
 }
 
+/// Exactly `max` distinct indices from `0..pool`, drawn without
+/// replacement by Floyd's algorithm from a [`DetRng`] seeded with `seed`
+/// and returned in ascending order. Shared by the scenario-rank and
+/// timeline-id selections so both sample identically.
+///
+/// Callers must ensure `max < pool`; oversized budgets fall back to the
+/// exhaustive range before reaching this.
+pub(crate) fn floyd_sample(pool: u64, max: u64, seed: u64) -> Vec<u64> {
+    debug_assert!(max < pool);
+    // Floyd's algorithm: exactly `max` distinct indices in `max` draws,
+    // no rejection loop however close `max` is to the pool size.
+    let want = usize::try_from(max).expect("sample budget fits usize");
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(want);
+    let mut picks = Vec::with_capacity(want);
+    for j in (pool - max)..pool {
+        let t = uniform_below(&mut rng, j + 1);
+        let pick = if seen.insert(t) { t } else { j };
+        if pick != t {
+            seen.insert(pick);
+        }
+        picks.push(pick);
+    }
+    picks.sort_unstable();
+    debug_assert!(picks.windows(2).all(|w| w[0] < w[1]));
+    picks
+}
+
+/// The position range shard `i` of `m` covers in a sequence of `len`
+/// positions (1-based `i`, the `--shard i/m` convention): contiguous,
+/// disjoint, covering, sizes differing by at most one. `shard = None`
+/// means the whole range. Shared by scenario and timeline selections.
+///
+/// # Panics
+///
+/// Panics if `i` is not in `1..=m` or `m == 0`.
+pub(crate) fn slice_range(len: u64, shard: Option<(usize, usize)>) -> Range<u64> {
+    let Some((i, m)) = shard else {
+        return 0..len;
+    };
+    assert!(m >= 1 && i >= 1 && i <= m, "--shard {i}/{m} out of range");
+    let (i, m) = (i as u128, m as u128);
+    let lo = (u128::from(len) * (i - 1) / m) as u64;
+    let hi = (u128::from(len) * i / m) as u64;
+    lo..hi
+}
+
 /// Which scenarios of a [`ScenarioSpace`] a sweep executes: either the
 /// exhaustive rank range or a seeded sample of it, in ascending rank
 /// order either way.
@@ -273,22 +320,7 @@ impl ScenarioSelection {
         if max >= space.count() {
             return ScenarioSelection::exhaustive(space);
         }
-        // Floyd's algorithm: exactly `max` distinct ranks in `max` draws,
-        // no rejection loop however close `max` is to the pool size.
-        let want = usize::try_from(max).expect("sample budget fits usize");
-        let mut rng = DetRng::seed_from_u64(seed);
-        let mut seen = std::collections::HashSet::with_capacity(want);
-        let mut picks = Vec::with_capacity(want);
-        for j in (space.count() - max)..space.count() {
-            let t = uniform_below(&mut rng, j + 1);
-            let pick = if seen.insert(t) { t } else { j };
-            if pick != t {
-                seen.insert(pick);
-            }
-            picks.push(pick);
-        }
-        picks.sort_unstable();
-        debug_assert!(picks.windows(2).all(|w| w[0] < w[1]));
+        let picks = floyd_sample(space.count(), max, seed);
         ScenarioSelection {
             space,
             ranks: Some(picks),
@@ -361,15 +393,7 @@ impl ScenarioSelection {
     /// Panics if `i` is not in `1..=m` or `m == 0` — flag parsing
     /// rejects those shapes before they get here.
     pub fn shard_range(&self, shard: Option<(usize, usize)>) -> Range<u64> {
-        let len = self.len();
-        let Some((i, m)) = shard else {
-            return 0..len;
-        };
-        assert!(m >= 1 && i >= 1 && i <= m, "--shard {i}/{m} out of range");
-        let (i, m) = (i as u128, m as u128);
-        let lo = (u128::from(len) * (i - 1) / m) as u64;
-        let hi = (u128::from(len) * i / m) as u64;
-        lo..hi
+        slice_range(self.len(), shard)
     }
 }
 

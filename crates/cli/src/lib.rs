@@ -67,6 +67,9 @@ USAGE:
   pmctl check    --fail N[,N..] --plan FILE [network options]
   pmctl compare  --fail N[,N..] [--opt-secs S] [network options]
   pmctl simulate --fail N[,N..] [--algo ...] [--cascade] [network options]
+  pmctl simulate --timelines N [--horizon-ms N] [--mean-gap-ms N]
+                 [--max-failed F] [--no-drain] [--jobs N] [--shard i/m]
+                 [--max-scenarios N] [--seed N] [--batch N] [network options]
   pmctl relieve  --fail N[,N..] [--algo ...] [--moves M] [network options]
   pmctl inspect  --fail N[,N..] [network options]
   pmctl sweep    [--failures K] [--jobs N] [--shard i/m] [--max-scenarios N]
@@ -521,6 +524,14 @@ fn cmd_compare(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_simulate(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     let mut args = args.to_vec();
+    if let Some(v) = take_str_flag(&mut args, "--timelines")? {
+        let count: u64 = v
+            .parse()
+            .ok()
+            .filter(|&c| c > 0)
+            .ok_or_else(|| CliError::usage(format!("--timelines: bad count {v}")))?;
+        return cmd_simulate_timelines(count, args, out);
+    }
     let spec = parse_network(&mut args)?;
     let net = build_network(&spec)?;
     let failed = parse_failures(&net, &mut args)?;
@@ -591,6 +602,134 @@ fn cmd_simulate(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> 
             report.cascaded_controllers
         );
     }
+    Ok(())
+}
+
+/// `pmctl simulate --timelines N`: replays N seeded failure timelines
+/// (failures, recoveries, cascades, partitions, flow churn) through the
+/// sweep engine and summarizes the recovery outcomes. Deterministic in
+/// `--seed` for every `--jobs` count, and `--shard i/m` outputs
+/// concatenated in shard order equal the unsharded run.
+fn cmd_simulate_timelines(
+    count: u64,
+    mut args: Vec<OsString>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let spec = parse_network(&mut args)?;
+    let net = build_network(&spec)?;
+    let mut opts = pm_bench::EvalOptions {
+        skip_optimal: true,
+        ..Default::default()
+    };
+    if let Some(v) = take_str_flag(&mut args, "--jobs")? {
+        opts.jobs = v
+            .parse()
+            .ok()
+            .filter(|&j| j > 0)
+            .ok_or_else(|| CliError::usage(format!("--jobs: bad number {v}")))?;
+    }
+    if let Some(v) = take_str_flag(&mut args, "--shard")? {
+        opts.shard = Some(pm_bench::harness::parse_shard(&v).ok_or_else(|| {
+            CliError::usage(format!("--shard needs i/m with 1 <= i <= m, got {v}"))
+        })?);
+    }
+    if let Some(v) = take_str_flag(&mut args, "--max-scenarios")? {
+        opts.max_scenarios = Some(
+            v.parse()
+                .ok()
+                .filter(|&m| m > 0)
+                .ok_or_else(|| CliError::usage(format!("--max-scenarios: bad number {v}")))?,
+        );
+    }
+    if let Some(v) = take_str_flag(&mut args, "--seed")? {
+        opts.seed = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--seed: bad number {v}")))?;
+    }
+    if let Some(v) = take_str_flag(&mut args, "--batch")? {
+        opts.batch = v
+            .parse()
+            .ok()
+            .filter(|&b| b > 0)
+            .ok_or_else(|| CliError::usage(format!("--batch: bad number {v}")))?;
+    }
+    let mut params = pm_simctl::TimelineParams::default();
+    if let Some(v) = take_str_flag(&mut args, "--horizon-ms")? {
+        let ms: f64 = v
+            .parse()
+            .ok()
+            .filter(|&m: &f64| m.is_finite() && m > 0.0)
+            .ok_or_else(|| CliError::usage(format!("--horizon-ms: bad number {v}")))?;
+        params.horizon = SimTime::from_ms(ms);
+    }
+    if let Some(v) = take_str_flag(&mut args, "--mean-gap-ms")? {
+        let ms: f64 = v
+            .parse()
+            .ok()
+            .filter(|&m: &f64| m.is_finite() && m > 0.0)
+            .ok_or_else(|| CliError::usage(format!("--mean-gap-ms: bad number {v}")))?;
+        params.mean_gap = SimTime::from_ms(ms);
+    }
+    if let Some(v) = take_str_flag(&mut args, "--max-failed")? {
+        params.max_concurrent = v
+            .parse()
+            .ok()
+            .filter(|&f| f > 0)
+            .ok_or_else(|| CliError::usage(format!("--max-failed: bad number {v}")))?;
+    }
+    if take_switch(&mut args, "--no-drain") {
+        params.drain = false;
+    }
+    ensure_consumed(&args)?;
+    if net.controllers().len() < 2 {
+        return Err(CliError::usage(
+            "timeline simulation needs at least 2 controllers",
+        ));
+    }
+
+    let engine = pm_bench::SweepEngine::new(&net, opts.clone());
+    let space = engine.timeline_space(count, params);
+    let sel = engine.timeline_selection(&space);
+    let range = sel.shard_range(opts.shard);
+    let shard_note = match opts.shard {
+        Some((i, m)) => format!(" (shard {i}/{m} of {})", sel.len()),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "replaying {} of {} seeded timeline(s){}{} on {} thread(s)",
+        range.end - range.start,
+        space.count(),
+        if sel.is_sampled() { " [sampled]" } else { "" },
+        shard_note,
+        opts.jobs
+    );
+    let reports = engine.sweep_timelines(&space, &sel);
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "timeline {:>4}: events={:<3} solves={:<3} peak_failed={} \
+             fully_recovered={} baseline_restored={} pm_worst_ppm={}",
+            r.id,
+            r.events,
+            r.solves,
+            r.peak_failed,
+            r.fully_recovered,
+            r.baseline_restored,
+            r.pm_worst_recovered_ppm
+        );
+    }
+    let events: usize = reports.iter().map(|r| r.events).sum();
+    let solves: usize = reports.iter().map(|r| r.solves).sum();
+    let recovered = reports.iter().filter(|r| r.fully_recovered).count();
+    let _ = writeln!(
+        out,
+        "total: {} event(s), {} solve(s); {}/{} timeline(s) fully recovered",
+        events,
+        solves,
+        recovered,
+        reports.len()
+    );
     Ok(())
 }
 
@@ -1011,6 +1150,65 @@ mod tests {
         let text = run_ok(&["simulate", "--fail", "13"]);
         assert!(text.contains("role handshakes"));
         assert!(text.contains("data plane continuous: true"));
+    }
+
+    #[test]
+    fn simulate_timelines_is_deterministic_across_jobs() {
+        let base = [
+            "simulate",
+            "--timelines",
+            "6",
+            "--horizon-ms",
+            "4000",
+            "--seed",
+            "7",
+        ];
+        let serial = run_ok(&[&base[..], &["--jobs", "1"]].concat());
+        let parallel = run_ok(&[&base[..], &["--jobs", "8"]].concat());
+        assert!(
+            serial.contains("replaying 6 of 6 seeded timeline(s)"),
+            "{serial}"
+        );
+        assert!(serial.contains("timeline(s) fully recovered"), "{serial}");
+        // Identical modulo the thread-count banner line.
+        let body = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(body(&serial), body(&parallel));
+    }
+
+    #[test]
+    fn simulate_timelines_shard_union_matches_unsharded() {
+        let base = [
+            "simulate",
+            "--timelines",
+            "5",
+            "--horizon-ms",
+            "3000",
+            "--seed",
+            "11",
+        ];
+        let full = run_ok(&[&base[..], &["--jobs", "2"]].concat());
+        let timeline_lines = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("timeline "))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        let mut merged = Vec::new();
+        for i in 1..=3 {
+            let shard = run_ok(&[&base[..], &["--shard", &format!("{i}/3")]].concat());
+            merged.extend(timeline_lines(&shard));
+        }
+        assert_eq!(merged, timeline_lines(&full));
+    }
+
+    #[test]
+    fn simulate_timelines_rejects_bad_counts_and_flags() {
+        let err = run_err(&["simulate", "--timelines", "0"]);
+        assert_eq!(err.code, 2, "{}", err.message);
+        let err = run_err(&["simulate", "--timelines", "2", "--horizon-ms", "nope"]);
+        assert_eq!(err.code, 2, "{}", err.message);
+        let err = run_err(&["simulate", "--timelines", "2", "--max-failed", "0"]);
+        assert_eq!(err.code, 2, "{}", err.message);
     }
 
     #[test]

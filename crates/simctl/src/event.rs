@@ -223,6 +223,35 @@ mod tests {
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
+    /// FIFO among ties must survive interleaved pushes and pops: the
+    /// sequence counter is monotonic over the queue's lifetime, not per
+    /// batch, so entries pushed *after* a pop still sort behind earlier
+    /// same-timestamp entries.
+    #[test]
+    fn fifo_among_ties_survives_interleaved_pops() {
+        let t = SimTime::from_ms(5.0);
+        let ev = |c: usize| Event::ServiceComplete {
+            controller: ControllerId(c),
+        };
+        let mut q = EventQueue::new();
+        q.push(t, ev(0));
+        q.push(t, ev(1));
+        // Pop the head, then push more ties and an earlier event.
+        assert!(
+            matches!(q.pop(), Some((_, Event::ServiceComplete { controller })) if controller == ControllerId(0))
+        );
+        q.push(t, ev(2));
+        q.push(SimTime::from_ms(1.0), ev(9));
+        q.push(t, ev(3));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::ServiceComplete { controller } => controller.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![9, 1, 2, 3], "earliest first, then FIFO ties");
+    }
+
     #[test]
     fn len_tracks() {
         let mut q = EventQueue::new();

@@ -45,11 +45,15 @@ pub mod engine;
 pub mod event;
 pub mod report;
 pub mod time;
+pub mod timeline;
 
 pub use engine::{CascadeConfig, RecoveryTiming, Simulation};
 pub use event::{ControlMessage, Event};
 pub use report::SimReport;
 pub use time::SimTime;
+pub use timeline::{
+    EventRecord, EventSolve, Timeline, TimelineEvent, TimelineParams, TimelineReport, TimelineSpace,
+};
 
 use std::fmt;
 

@@ -1,0 +1,230 @@
+//! Deterministic-simulation harness for seeded failure timelines.
+//!
+//! Three layers of assurance over [`pm_simctl::TimelineSpace`] and the
+//! `SweepEngine` timeline driver:
+//!
+//! 1. **Determinism properties** (proptest): the same seed produces
+//!    byte-identical [`TimelineReport`]s whatever `--jobs` is set to, and
+//!    `--shard i/m` outputs concatenated in shard order reassemble the
+//!    unsharded run for m ∈ {1, 2, 3}.
+//! 2. **Differential invariants** over 100+ seeded timelines: at every
+//!    solve PM's min programmability over recoverable flows never drops
+//!    below RetroFlow's, both plans respect residual controller capacity
+//!    at every instant, and a timeline that ends fully recovered restores
+//!    the pre-failure programmability table exactly.
+//! 3. **Golden regression**: one small seeded timeline's full event log
+//!    is pinned to a fixture under `results/`. Regenerate with
+//!    `PM_BLESS=1 cargo test -p pm-tests-integration golden`.
+
+use pm_bench::{EvalOptions, SweepEngine};
+use pm_sdwan::{NetCache, SdWan, SdWanBuilder};
+use pm_simctl::{TimelineParams, TimelineReport, TimelineSpace};
+use pm_topo::{builders, NodeId};
+use proptest::prelude::*;
+
+/// A 12-node grid with four controllers: small enough for fast replays,
+/// rich enough for three simultaneous failures to leave a survivor.
+fn small_net() -> SdWan {
+    SdWanBuilder::new(builders::grid(3, 4))
+        .controller(NodeId(0), 200)
+        .controller(NodeId(3), 200)
+        .controller(NodeId(8), 200)
+        .controller(NodeId(11), 200)
+        .all_pairs_flows()
+        .build()
+        .expect("grid network builds")
+}
+
+fn engine_opts(jobs: usize, shard: Option<(usize, usize)>, seed: u64) -> EvalOptions {
+    EvalOptions {
+        jobs,
+        shard,
+        seed,
+        batch: 2,
+        skip_optimal: true,
+        ..EvalOptions::default()
+    }
+}
+
+/// Runs a `count`-timeline sweep on `net` and returns the reports.
+fn sweep(
+    net: &SdWan,
+    jobs: usize,
+    shard: Option<(usize, usize)>,
+    seed: u64,
+    count: u64,
+) -> Vec<TimelineReport> {
+    let engine = SweepEngine::new(net, engine_opts(jobs, shard, seed));
+    let space = engine.timeline_space(count, short_params());
+    let sel = engine.timeline_selection(&space);
+    engine.sweep_timelines(&space, &sel)
+}
+
+/// A short horizon keeps property cases fast while still exercising
+/// failures, cascades, partitions, churn and the drain.
+fn short_params() -> TimelineParams {
+    TimelineParams {
+        horizon: pm_simctl::SimTime::from_ms(4_000.0),
+        ..TimelineParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ byte-identical reports at `--jobs 1` and `--jobs 8`,
+    /// down to the pinned golden text form of every event log.
+    #[test]
+    fn reports_are_schedule_independent(seed in 0u64..10_000) {
+        let net = small_net();
+        let serial = sweep(&net, 1, None, seed, 3);
+        let parallel = sweep(&net, 8, None, seed, 3);
+        prop_assert_eq!(&serial, &parallel);
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a.event_log(), b.event_log());
+        }
+    }
+
+    /// `--shard i/m` outputs concatenated in shard order reassemble the
+    /// unsharded run for every m ∈ {1, 2, 3}.
+    #[test]
+    fn shard_unions_reassemble_the_sweep(seed in 0u64..10_000) {
+        let net = small_net();
+        let full = sweep(&net, 2, None, seed, 4);
+        for m in 1usize..=3 {
+            let mut union = Vec::new();
+            for i in 1..=m {
+                union.extend(sweep(&net, 2, Some((i, m)), seed, 4));
+            }
+            prop_assert_eq!(&union, &full, "m = {}", m);
+        }
+    }
+}
+
+/// The differential invariants, checked at every solve of 120 seeded
+/// timelines (several hundred solves in total):
+///
+/// * neither plan ever oversubscribes a controller — capacities hold at
+///   every instant of every timeline;
+/// * PM's minimum programmability over recoverable flows never drops
+///   below RetroFlow's (the max-min value PM optimizes). The raw
+///   *programmable-flow set* is deliberately not compared: on roomy
+///   instances RetroFlow can recover a flow PM trades away for min-side
+///   gains, the same Fig. 5 trade-off `differential.rs` documents;
+/// * every flow PM reports recovered carries positive programmability,
+///   and PM recovers at least as many offline flows as its metrics claim.
+#[test]
+fn solve_invariants_hold_across_seeded_timelines() {
+    let net = small_net();
+    let cache = NetCache::build(&net);
+    let mut solves = 0usize;
+    for seed in 0..120u64 {
+        let space = TimelineSpace::new(
+            net.controllers().len(),
+            net.flows().len(),
+            seed,
+            1,
+            short_params(),
+        );
+        let timeline = space.generate(0);
+        timeline
+            .replay_with(&net, &cache, |record, solve| {
+                let Some(s) = solve else { return };
+                solves += 1;
+                for (m, who) in [(s.pm_metrics, "PM"), (s.retro_metrics, "RetroFlow")] {
+                    for u in &m.controller_usage {
+                        assert!(
+                            u.used <= u.available,
+                            "seed {seed} t={}: {who} oversubscribed {:?} {}/{}",
+                            record.at.as_nanos(),
+                            u.controller,
+                            u.used,
+                            u.available
+                        );
+                    }
+                }
+                let min_pm = s.pm_metrics.min_programmability_recoverable();
+                let min_retro = s.retro_metrics.min_programmability_recoverable();
+                assert!(
+                    min_pm >= min_retro,
+                    "seed {seed} t={} failed={:?}: PM min {min_pm} < RetroFlow {min_retro}",
+                    record.at.as_nanos(),
+                    record.failed
+                );
+                assert_eq!(
+                    s.pm_metrics
+                        .per_flow_programmability
+                        .iter()
+                        .filter(|&&p| p > 0)
+                        .count(),
+                    s.pm_metrics.recovered_flows,
+                    "seed {seed}: recovered flows must equal positive-programmability flows"
+                );
+            })
+            .expect("seeded timelines replay");
+    }
+    assert!(solves >= 100, "only {solves} solves exercised");
+}
+
+/// A timeline that ends fully recovered must restore the pre-failure
+/// programmability table exactly — checked across 100 seeded timelines
+/// (the default drain guarantees full recovery).
+#[test]
+fn full_recovery_restores_the_baseline_table() {
+    let net = small_net();
+    let cache = NetCache::build(&net);
+    for seed in 0..100u64 {
+        let space = TimelineSpace::new(
+            net.controllers().len(),
+            net.flows().len(),
+            0xface_0000 ^ seed,
+            1,
+            short_params(),
+        );
+        let report = space.generate(0).replay(&net, &cache).expect("replays");
+        assert!(report.fully_recovered, "seed {seed}: drain ends recovered");
+        assert!(
+            report.baseline_restored,
+            "seed {seed}: full recovery must restore the baseline table"
+        );
+        let last = report.records.last().expect("timelines are non-empty");
+        assert!(last.failed.is_empty(), "seed {seed}: final failed set");
+    }
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../results/golden_timeline.txt"
+);
+const GOLDEN_SEED: u64 = 0x0090_1de2;
+
+/// Golden regression: the full event log of timeline 0 at a pinned seed
+/// on the 3×4 grid, byte-compared against `results/golden_timeline.txt`.
+/// Generation is integer-only and replay metrics are integers, so the
+/// fixture is platform-stable. Regenerate with
+/// `PM_BLESS=1 cargo test -p pm-tests-integration golden`.
+#[test]
+fn golden_timeline_event_log_is_pinned() {
+    let net = small_net();
+    let cache = NetCache::build(&net);
+    let space = TimelineSpace::new(
+        net.controllers().len(),
+        net.flows().len(),
+        GOLDEN_SEED,
+        1,
+        TimelineParams::default(),
+    );
+    let report = space.generate(0).replay(&net, &cache).expect("replays");
+    let log = report.event_log();
+    if std::env::var_os("PM_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &log).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("results/golden_timeline.txt exists; regenerate with PM_BLESS=1");
+    assert_eq!(
+        log, golden,
+        "timeline replay diverged from the golden fixture; if the change \
+         is intentional, regenerate with PM_BLESS=1"
+    );
+}
