@@ -1,8 +1,8 @@
 //! Runs the four algorithms on failure cases and collects metrics.
 
 use crate::events::EventLog;
-use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow};
-use pm_sdwan::{ControllerId, FailureScenario, PlanMetrics, Programmability, SdWan};
+use pm_core::{FmssmInstance, Optimal, Pg, Pm, PmError, PmWorkspace, RecoveryAlgorithm, RetroFlow};
+use pm_sdwan::{ControllerId, FailureScenario, PlanMetrics, Programmability, RecoveryPlan, SdWan};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,6 +56,13 @@ pub struct EvalOptions {
     /// (default). Scale binaries switch this off so only the
     /// shortest-path state the sweep actually touches is computed.
     pub eager_warm: bool,
+    /// Walk each worker's claimed scenario blocks incrementally (default):
+    /// consecutive colex-adjacent failure sets are patched in place with
+    /// [`pm_sdwan::FailureScenario::apply_delta`] and the PM heuristic
+    /// reuses a per-worker workspace, instead of rebuilding everything per
+    /// case. Results are byte-identical either way (`--no-incremental`
+    /// forces the cold recompute path, e.g. to verify exactly that).
+    pub incremental: bool,
 }
 
 impl Default for EvalOptions {
@@ -74,6 +81,7 @@ impl Default for EvalOptions {
             seed: 42,
             batch: 32,
             eager_warm: true,
+            incremental: true,
         }
     }
 }
@@ -198,12 +206,13 @@ impl EvalOptions {
                     }
                     opts.batch = v;
                 }
+                "--no-incremental" => opts.incremental = false,
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
                          \x20        [--shard i/m] [--max-scenarios N] [--seed N] [--batch N]\n\
                          \x20        [--trace FILE] [--metrics FILE] [--prom FILE]\n\
-                         \x20        [--events FILE] [--progress]\n\
+                         \x20        [--events FILE] [--progress] [--no-incremental]\n\
                          regenerates one of the paper's evaluation artifacts;\n\
                          --shard runs only the i-th of m contiguous slices of each sweep\n\
                          --max-scenarios caps a sweep, sampling ranks without replacement\n\
@@ -213,7 +222,9 @@ impl EvalOptions {
                          --metrics writes aggregated counters/histograms/span totals as JSON\n\
                          --prom writes the same metrics in Prometheus text exposition format\n\
                          --events streams per-case progress as JSON lines while sweeping\n\
-                         --progress prints a rate-limited progress line to stderr"
+                         --progress prints a rate-limited progress line to stderr\n\
+                         --no-incremental rebuilds every scenario from scratch instead of\n\
+                         \x20 patching the previous one in place (results are identical)"
                     );
                     std::process::exit(0);
                 }
@@ -336,8 +347,17 @@ pub fn run_case(
     CaseResult {
         failed: failed.to_vec(),
         label: case_label(net, failed),
-        runs: run_algorithms(&scenario, prog, &inst, opts),
+        runs: run_algorithms(&scenario, prog, &inst, opts, &mut AlgoWorkspace::default()),
     }
+}
+
+/// Per-worker allocation reuse across the cases of a sweep. Plans are
+/// byte-identical whether a workspace is fresh or carried over — only the
+/// buffers survive, never decisions.
+#[derive(Debug, Default)]
+pub(crate) struct AlgoWorkspace {
+    /// The PM heuristic's bitmap/accumulator buffers.
+    pm: PmWorkspace,
 }
 
 /// Times and validates each algorithm on an already-built instance; shared
@@ -347,34 +367,46 @@ pub(crate) fn run_algorithms(
     prog: &Programmability,
     inst: &FmssmInstance<'_, '_>,
     opts: &EvalOptions,
+    ws: &mut AlgoWorkspace,
 ) -> Vec<AlgoRun> {
-    let mut runs = Vec::new();
-
-    let heuristics: Vec<Box<dyn RecoveryAlgorithm>> = vec![
-        Box::new(RetroFlow::new()),
-        Box::new(Pm::new()),
-        Box::new(Pg::new()),
-    ];
-    for algo in &heuristics {
+    // One measured, validated heuristic run. `recover` is a closure rather
+    // than the trait method so PM can run inside the shared workspace; the
+    // name/span/metrics handling stays common to all three.
+    fn heuristic_run(
+        algo: &dyn RecoveryAlgorithm,
+        scenario: &FailureScenario<'_>,
+        prog: &Programmability,
+        recover: impl FnOnce() -> Result<RecoveryPlan, PmError>,
+    ) -> AlgoRun {
         let algo_span = pm_obs::span_labeled("bench.algo", algo.name());
         let start = Instant::now();
-        let plan = algo
-            .recover(inst)
-            .expect("heuristics always produce a plan");
+        let plan = recover().expect("heuristics always produce a plan");
         let elapsed = start.elapsed();
         drop(algo_span);
         plan.validate(scenario, prog, algo.is_flow_level())
             .expect("plan must be valid");
         let metrics = PlanMetrics::compute(scenario, prog, &plan, algo.middle_layer_ms());
         let total_delay = plan.total_control_delay(scenario);
-        runs.push(AlgoRun {
+        AlgoRun {
             name: algo.name(),
             metrics,
             elapsed,
             proved_optimal: None,
             total_delay,
-        });
+        }
     }
+
+    let mut runs = Vec::new();
+    let retroflow = RetroFlow::new();
+    runs.push(heuristic_run(&retroflow, scenario, prog, || {
+        retroflow.recover(inst)
+    }));
+    let pm = Pm::new();
+    runs.push(heuristic_run(&pm, scenario, prog, || {
+        pm.recover_in(inst, &mut ws.pm)
+    }));
+    let pg = Pg::new();
+    runs.push(heuristic_run(&pg, scenario, prog, || pg.recover(inst)));
 
     if !opts.skip_optimal {
         let _algo_span = pm_obs::span_labeled("bench.algo", "Optimal");

@@ -19,7 +19,7 @@
 //! byte-identical between `--jobs 1` and any other thread count; only the
 //! wall-clock statistics vary run to run.
 
-use crate::harness::{case_label, run_algorithms, CaseResult, EvalOptions};
+use crate::harness::{case_label, run_algorithms, AlgoWorkspace, CaseResult, EvalOptions};
 use crate::scenario_space::{ScenarioSelection, ScenarioSpace};
 use pm_core::FmssmInstance;
 use pm_sdwan::{ControllerId, FailureScenario, NetCache, Programmability, SdWan, SdwanError};
@@ -247,6 +247,17 @@ pub struct SweepEngine<'net> {
     opts: EvalOptions,
 }
 
+/// State one sweep worker carries from case to case on the incremental
+/// path: the previous scenario (patched in place by
+/// [`pm_sdwan::FailureScenario::apply_delta`] chains) and the algorithms'
+/// reusable buffers. Dropping it between cases reproduces the cold path
+/// bit for bit — it holds no decisions, only already-computed state.
+#[derive(Debug, Default)]
+struct DeltaState<'net> {
+    scenario: Option<FailureScenario<'net>>,
+    ws: AlgoWorkspace,
+}
+
 impl<'net> SweepEngine<'net> {
     /// Precomputes the [`NetCache`] of `net` and readies a pool of
     /// `opts.jobs` workers (created per sweep; no threads idle between
@@ -295,11 +306,32 @@ impl<'net> SweepEngine<'net> {
     /// Panics if the case is invalid or an algorithm produces an invalid
     /// plan — both indicate bugs, not data errors.
     pub fn run_case(&self, failed: &[ControllerId]) -> CaseResult {
+        self.run_case_in(failed, &mut DeltaState::default())
+    }
+
+    /// [`SweepEngine::run_case`] against a worker's carried state: when
+    /// `state` holds the previous case's scenario (and
+    /// [`EvalOptions::incremental`] is on), the new failure set is reached
+    /// by a chain of single `(revived, failed)` swaps patched in place —
+    /// the dominant cost of a heuristic-only case — instead of a rebuild.
+    /// Results are byte-identical to the cold path: every delta operation
+    /// reproduces the fresh construction exactly.
+    fn run_case_in(&self, failed: &[ControllerId], state: &mut DeltaState<'net>) -> CaseResult {
         let label = case_label(self.net, failed);
         let _span = pm_obs::span_labeled("sweep.case", label.clone());
-        let scenario = self.scenario(failed).expect("valid failure case");
-        let inst = FmssmInstance::with_cache(&scenario, self.cache.programmability(), &self.cache);
-        let runs = run_algorithms(&scenario, self.cache.programmability(), &inst, &self.opts);
+        self.advance_scenario(failed, &mut state.scenario);
+        let DeltaState { scenario, ws } = state;
+        let scenario = scenario.as_ref().expect("scenario just advanced");
+        let inst_span = pm_obs::span("sweep.instance");
+        let inst = FmssmInstance::with_cache(scenario, self.cache.programmability(), &self.cache);
+        drop(inst_span);
+        let runs = run_algorithms(
+            scenario,
+            self.cache.programmability(),
+            &inst,
+            &self.opts,
+            ws,
+        );
         if pm_obs::enabled() {
             pm_obs::count("sweep.cases", 1);
         }
@@ -308,6 +340,42 @@ impl<'net> SweepEngine<'net> {
             label,
             runs,
         }
+    }
+
+    /// Leaves the scenario for `failed` in `slot`, patching the previous
+    /// scenario in place when one is carried and the incremental path is
+    /// on. Consecutive colex positions usually differ in one controller;
+    /// across block boundaries (or sampled selections) the symmetric
+    /// difference is larger and is applied as a chain of single swaps,
+    /// each a valid intermediate scenario.
+    fn advance_scenario(&self, failed: &[ControllerId], slot: &mut Option<FailureScenario<'net>>) {
+        if self.opts.incremental {
+            if let Some(prev) = slot.as_mut() {
+                if prev.failed_controllers().len() == failed.len() {
+                    let outs: Vec<ControllerId> = prev
+                        .failed_controllers()
+                        .iter()
+                        .copied()
+                        .filter(|c| !failed.contains(c))
+                        .collect();
+                    let ins: Vec<ControllerId> = failed
+                        .iter()
+                        .copied()
+                        .filter(|c| !prev.failed_controllers().contains(c))
+                        .collect();
+                    for (&remove, &add) in outs.iter().zip(&ins) {
+                        prev.apply_delta_cached(remove, add, &self.cache)
+                            .expect("symmetric-difference swaps are valid");
+                    }
+                    if pm_obs::enabled() {
+                        pm_obs::count("sweep.scenario.delta_cases", 1);
+                        pm_obs::count("sweep.scenario.delta_swaps", outs.len() as u64);
+                    }
+                    return;
+                }
+            }
+        }
+        *slot = Some(self.scenario(failed).expect("valid failure case"));
     }
 
     /// Runs the given cases across the worker pool; results come back in
@@ -381,28 +449,34 @@ impl<'net> SweepEngine<'net> {
         if let Some(events) = &self.opts.events {
             events.sweep_start(total, jobs);
         }
-        let run_one = |failed: &[ControllerId]| -> CaseResult {
+        let run_one = |failed: &[ControllerId], state: &mut DeltaState<'net>| -> CaseResult {
+            if !self.opts.incremental {
+                // Cold recompute: nothing survives between cases.
+                *state = DeltaState::default();
+            }
             match &self.opts.events {
-                None => self.run_case(failed),
+                None => self.run_case_in(failed, state),
                 Some(events) => {
                     let label = case_label(self.net, failed);
                     let token = events.case_start(&label);
-                    let result = self.run_case(failed);
+                    let result = self.run_case_in(failed, state);
                     events.case_finish(token, &label);
                     result
                 }
             }
         };
         let out = if jobs <= 1 {
-            // Serial path: one scenario buffer, reused across positions.
+            // Serial path: one scenario buffer, reused across positions,
+            // and one delta state threaded through the whole shard.
             let mut buf = Vec::new();
+            let mut state = DeltaState::default();
             let mut out = Vec::with_capacity(total);
             for pos in range {
                 sel.scenario_at_into(pos, &mut buf);
                 if obs {
                     pm_obs::count_max("sweep.scenario.live_peak", 1);
                 }
-                out.push(run_one(&buf));
+                out.push(run_one(&buf, &mut state));
             }
             out
         } else {
@@ -420,6 +494,10 @@ impl<'net> SweepEngine<'net> {
                             pm_obs::set_thread_label(format!("sweep-worker-{w}"));
                         }
                         let mut batch_buf: Vec<Vec<ControllerId>> = Vec::with_capacity(batch);
+                        // Carried across every block this worker claims:
+                        // the first case of a block deltas from the last
+                        // case of the previous one.
+                        let mut state = DeltaState::default();
                         let mut idle_since = obs.then(std::time::Instant::now);
                         loop {
                             let claim = next.fetch_add(1, Ordering::Relaxed);
@@ -445,7 +523,7 @@ impl<'net> SweepEngine<'net> {
                             }
                             for (off, failed) in batch_buf.iter().enumerate() {
                                 let busy_t0 = obs.then(std::time::Instant::now);
-                                let r = run_one(failed);
+                                let r = run_one(failed, &mut state);
                                 if let Some(t0) = busy_t0 {
                                     pm_obs::count(
                                         format!("sweep.worker.{w}.busy_ns"),

@@ -1,0 +1,40 @@
+//! Flag validation of the sweep binaries: degenerate worker/batch settings
+//! must die with a readable usage error, not a panic inside the dispatch
+//! loop.
+
+use std::process::Command;
+
+fn scale_sweep(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scale_sweep"))
+        .args(args)
+        .output()
+        .expect("scale_sweep spawns")
+}
+
+#[test]
+fn scale_sweep_rejects_zero_jobs_and_batch() {
+    for flag in ["--jobs", "--batch"] {
+        let out = scale_sweep(&[flag, "0"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} 0 must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8(out.stderr).expect("usage error is UTF-8");
+        assert!(
+            stderr.contains(flag) && stderr.contains("positive"),
+            "{flag} 0 must name the flag in a usage message, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn scale_sweep_rejects_non_numeric_jobs_and_batch() {
+    for flag in ["--jobs", "--batch", "--max-scenarios"] {
+        let out = scale_sweep(&[flag, "many"]);
+        assert_eq!(out.status.code(), Some(2), "{flag} many must exit 2");
+        let stderr = String::from_utf8(out.stderr).expect("usage error is UTF-8");
+        assert!(stderr.contains(flag), "{flag}: {stderr}");
+    }
+}

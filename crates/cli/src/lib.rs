@@ -1362,7 +1362,17 @@ mod tests {
         assert_eq!(run_err(&["sweep", "--failures", "6"]).code, 2);
         assert_eq!(run_err(&["sweep", "--shard", "3/2"]).code, 2);
         assert_eq!(run_err(&["sweep", "--max-scenarios", "0"]).code, 2);
-        assert_eq!(run_err(&["sweep", "--batch", "0"]).code, 2);
-        assert_eq!(run_err(&["sweep", "--jobs", "0"]).code, 2);
+        // Zero workers / zero-sized batches are usage errors with readable
+        // UTF-8 messages naming the flag — never a panic or a division by
+        // zero deep in the dispatch loop.
+        for flag in ["--batch", "--jobs"] {
+            let e = run_err(&["sweep", flag, "0"]);
+            assert_eq!(e.code, 2, "{flag}: {}", e.message);
+            assert!(e.message.contains(flag), "{flag}: {}", e.message);
+            assert!(e.message.is_ascii(), "{flag}: {}", e.message);
+            let e = run_err(&["simulate", "--timelines", "2", flag, "0"]);
+            assert_eq!(e.code, 2, "timelines {flag}: {}", e.message);
+            assert!(e.message.contains(flag), "timelines {flag}: {}", e.message);
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! wall-clock/node limits.
 
 use crate::model::{Model, Solution, Var};
-use crate::simplex::{solve_with_bounds, LpOutcome, SimplexOptions};
+use crate::simplex::{LpContext, LpOutcome, SimplexOptions};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -278,6 +278,11 @@ impl MilpSolver {
             base_ub.push(u);
         }
         let int_vars: Vec<usize> = model.integral_vars().map(|v| v.index()).collect();
+        // One sparse-column context for the whole node tree: consecutive
+        // node LPs differ by a single variable bound, so the previous
+        // node's basis usually warm-starts the next solve (phase 1 skipped,
+        // counted as `milp.basis.reuse_hits`).
+        let mut lp_ctx = LpContext::new(model);
 
         let mut incumbent: Option<Solution> = None;
         let mut incumbents_found = 0u64;
@@ -334,7 +339,7 @@ impl MilpSolver {
 
             nodes_explored += 1;
             let lp_start = pm_obs::enabled().then(Instant::now);
-            let outcome = solve_with_bounds(model, &lb, &ub, &self.simplex);
+            let outcome = lp_ctx.solve_with_bounds(&lb, &ub, &self.simplex);
             if let Some(t0) = lp_start {
                 pm_obs::observe(
                     "milp.node_lp_ns",

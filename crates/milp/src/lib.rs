@@ -42,4 +42,4 @@ pub use branch::{MilpResult, MilpSolver, MilpStatus, Polisher};
 pub use lp_format::to_lp_string;
 pub use model::{Model, ModelError, Sense, Solution, Var, VarKind};
 pub use presolve::{presolve, Presolved, Reduction};
-pub use simplex::{LpOutcome, LpSolution, SimplexOptions};
+pub use simplex::{LpContext, LpOutcome, LpSolution, SimplexOptions};

@@ -27,7 +27,7 @@ use pm_sdwan::RecoveryPlan;
 /// selection list, replacing the ordered-set representation on the hot
 /// path. Emission order does not matter — [`RecoveryPlan`] sorts — so the
 /// list records selections in insertion order.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Selections {
     flows: usize,
     mask: Vec<bool>,
@@ -35,12 +35,14 @@ struct Selections {
 }
 
 impl Selections {
-    fn new(switches: usize, flows: usize) -> Self {
-        Selections {
-            flows,
-            mask: vec![false; switches * flows],
-            selected: Vec::new(),
-        }
+    /// Re-dimensions for a `switches × flows` instance, clearing all state.
+    /// Retains the mask's capacity so repeated sweeps stop paying an
+    /// allocation per case (the bitmap is the largest per-case buffer).
+    fn reset(&mut self, switches: usize, flows: usize) {
+        self.flows = flows;
+        self.mask.clear();
+        self.mask.resize(switches * flows, false);
+        self.selected.clear();
     }
 
     fn contains(&self, ip: usize, lp: usize) -> bool {
@@ -63,18 +65,18 @@ impl Selections {
 /// membership bitmap plus a live count (ascending-index iteration over the
 /// bitmap reproduces the ordered-set iteration it replaces, preserving the
 /// lowest-position tie-breaks).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct SwitchPool {
     mask: Vec<bool>,
     len: usize,
 }
 
 impl SwitchPool {
-    fn full(n: usize) -> Self {
-        SwitchPool {
-            mask: vec![true; n],
-            len: n,
-        }
+    /// Re-dimensions to `n` switches, all untested, keeping capacity.
+    fn reset(&mut self, n: usize) {
+        self.mask.clear();
+        self.mask.resize(n, true);
+        self.len = n;
     }
 
     fn refill(&mut self) {
@@ -99,6 +101,22 @@ impl SwitchPool {
             .filter(|&(_, &m)| m)
             .map(|(ip, _)| ip)
     }
+}
+
+/// Reusable buffers for repeated [`Pm`] runs — the per-case `X`/`Y`/`A`/`H`
+/// state plus the phase-1 switch pool. A sweep that calls
+/// [`Pm::recover_in`] with the same workspace across cases re-dimensions
+/// these buffers in place instead of allocating them per case (the `Y`
+/// bitmap alone is `switches × flows` cells), and produces plans identical
+/// to fresh [`RecoveryAlgorithm::recover`] calls: every cell is
+/// re-initialized from the instance before use.
+#[derive(Debug, Default)]
+pub struct PmWorkspace {
+    x: Vec<Option<usize>>,
+    y: Selections,
+    pool: SwitchPool,
+    a: Vec<i64>,
+    h: Vec<u64>,
 }
 
 /// How phase 1 picks the next switch to recover.
@@ -194,7 +212,37 @@ impl Pm {
         inst: &FmssmInstance<'_, '_>,
         seed: &RecoveryPlan,
     ) -> Result<RecoveryPlan, PmError> {
-        self.run(inst, Some(seed))
+        self.run(inst, Some(seed), &mut PmWorkspace::default())
+    }
+
+    /// Like [`RecoveryAlgorithm::recover`], reusing `ws`'s buffers instead
+    /// of allocating fresh per-run state. The plan is identical to an
+    /// unseeded `recover` call; only the allocation behaviour differs.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for parity with `recover`.
+    pub fn recover_in(
+        &self,
+        inst: &FmssmInstance<'_, '_>,
+        ws: &mut PmWorkspace,
+    ) -> Result<RecoveryPlan, PmError> {
+        self.run(inst, None, ws)
+    }
+
+    /// [`Pm::recover_with_seed`] with workspace reuse, combining the
+    /// successive-failure seeding semantics with sweep-friendly buffers.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for parity with `recover`.
+    pub fn recover_with_seed_in(
+        &self,
+        inst: &FmssmInstance<'_, '_>,
+        seed: &RecoveryPlan,
+        ws: &mut PmWorkspace,
+    ) -> Result<RecoveryPlan, PmError> {
+        self.run(inst, Some(seed), ws)
     }
 }
 
@@ -204,7 +252,7 @@ impl RecoveryAlgorithm for Pm {
     }
 
     fn recover(&self, inst: &FmssmInstance<'_, '_>) -> Result<RecoveryPlan, PmError> {
-        self.run(inst, None)
+        self.run(inst, None, &mut PmWorkspace::default())
     }
 }
 
@@ -213,6 +261,7 @@ impl Pm {
         &self,
         inst: &FmssmInstance<'_, '_>,
         seed: Option<&RecoveryPlan>,
+        ws: &mut PmWorkspace,
     ) -> Result<RecoveryPlan, PmError> {
         let _recover_span = pm_obs::span("pm.recover");
         // Read the recording flag once per run; the per-iteration telemetry
@@ -222,10 +271,14 @@ impl Pm {
         let m = inst.controllers().len();
         let l_count = inst.flows().len();
 
-        let mut x: Vec<Option<usize>> = vec![None; n];
-        let mut y = Selections::new(n, l_count);
-        let mut a: Vec<i64> = inst.residuals().iter().map(|&r| r as i64).collect();
-        let mut h: Vec<u64> = vec![0; l_count];
+        ws.x.clear();
+        ws.x.resize(n, None);
+        ws.y.reset(n, l_count);
+        ws.a.clear();
+        ws.a.extend(inst.residuals().iter().map(|&r| r as i64));
+        ws.h.clear();
+        ws.h.resize(l_count, 0);
+        let PmWorkspace { x, y, a, h, pool } = ws;
 
         if let Some(seed) = seed {
             for (s, c) in seed.mappings() {
@@ -251,7 +304,8 @@ impl Pm {
                 a[jp] -= 1;
             }
         }
-        let mut s_star = SwitchPool::full(n);
+        pool.reset(n);
+        let s_star = pool;
         let mut sigma: u64 = 0;
         let mut test_count = 0usize;
         let total_iterations = inst.total_iterations().max(1);
@@ -306,7 +360,7 @@ impl Pm {
                 // is exhausted, behave as lines 37–39.
                 s_star.refill();
                 test_count += 1;
-                sigma = min_h(&h);
+                sigma = min_h(h);
                 continue;
             };
 
@@ -355,7 +409,7 @@ impl Pm {
             if s_star.is_empty() {
                 s_star.refill();
                 test_count += 1;
-                sigma = min_h(&h);
+                sigma = min_h(h);
             }
         }
 
@@ -535,6 +589,41 @@ mod tests {
             inst.objective(&m_pm.per_flow_programmability, true)
                 >= inst.objective(&m_abl.per_flow_programmability, true) - 1e-9
         );
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_runs() {
+        // One workspace across cases of different shapes (different offline
+        // switch/flow counts) must reproduce cold runs exactly.
+        let (net, prog) = setup();
+        let mut ws = PmWorkspace::default();
+        let cases: [&[usize]; 4] = [&[3, 4], &[0], &[1, 2, 5], &[3]];
+        for failed in cases {
+            let failed: Vec<ControllerId> = failed.iter().map(|&c| ControllerId(c)).collect();
+            let sc = net.fail(&failed).unwrap();
+            let inst = FmssmInstance::new(&sc, &prog);
+            let warm = Pm::new().recover_in(&inst, &mut ws).unwrap();
+            let cold = Pm::new().recover(&inst).unwrap();
+            assert_eq!(warm, cold, "case {failed:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_workspace_matches_seeded_fresh_run() {
+        let (net, prog) = setup();
+        let sc1 = net.fail(&[ControllerId(3)]).unwrap();
+        let inst1 = FmssmInstance::new(&sc1, &prog);
+        let seed = Pm::new().recover(&inst1).unwrap();
+        let sc2 = net.fail(&[ControllerId(3), ControllerId(4)]).unwrap();
+        let inst2 = FmssmInstance::new(&sc2, &prog);
+        let mut ws = PmWorkspace::default();
+        // Dirty the workspace first, then compare the seeded paths.
+        Pm::new().recover_in(&inst1, &mut ws).unwrap();
+        let warm = Pm::new()
+            .recover_with_seed_in(&inst2, &seed, &mut ws)
+            .unwrap();
+        let cold = Pm::new().recover_with_seed(&inst2, &seed).unwrap();
+        assert_eq!(warm, cold);
     }
 
     #[test]

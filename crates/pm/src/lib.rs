@@ -50,7 +50,7 @@ pub mod twostage;
 mod error;
 
 pub use error::PmError;
-pub use heuristic::{Pm, PmConfig};
+pub use heuristic::{Pm, PmConfig, PmWorkspace};
 pub use instance::FmssmInstance;
 pub use optimal::{DelayBound, LinkingStyle, Optimal, OptimalOutcome};
 pub use pg::Pg;

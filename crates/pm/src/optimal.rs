@@ -174,6 +174,26 @@ impl Optimal {
     /// incumbent (cannot happen with the PM warm start enabled, mirroring
     /// the fact that PM "always has a result").
     pub fn solve_detailed(&self, inst: &FmssmInstance<'_, '_>) -> Result<OptimalOutcome, PmError> {
+        self.solve_detailed_with_hint(inst, None)
+    }
+
+    /// Like [`Optimal::solve_detailed`], additionally offering `hint` — a
+    /// plan from a neighboring case of an incremental sweep — as a warm
+    /// start. The hint competes with the PM warm start: each candidate plan
+    /// is re-encoded against *this* instance (entries referencing
+    /// now-online switches or failed controllers are re-packed greedily)
+    /// and the one with the better model objective seeds branch-and-bound.
+    /// A useless hint therefore never degrades the incumbent below the
+    /// PM-seeded baseline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Optimal::solve_detailed`].
+    pub fn solve_detailed_with_hint(
+        &self,
+        inst: &FmssmInstance<'_, '_>,
+        hint: Option<&RecoveryPlan>,
+    ) -> Result<OptimalOutcome, PmError> {
         let _recover_span = pm_obs::span("optimal.solve_detailed");
         let budget = self.delay_bound.budget(inst.ideal_delay_g());
         let objective =
@@ -194,10 +214,27 @@ impl Optimal {
             .time_limit(self.time_limit)
             // Decide the switch-mapping variables before per-flow modes.
             .branch_priority_below(n * m);
-        if self.warm_start_with_pm {
+        {
             let warm_span = pm_obs::span("optimal.warm_start");
-            let pm_plan = Pm::new().recover(inst)?;
-            if let Some(values) = built.warm_start_values(inst, &pm_plan, budget) {
+            let mut best: Option<Vec<f64>> = None;
+            let mut best_obj = f64::NEG_INFINITY;
+            let mut offer = |values: Option<Vec<f64>>| {
+                if let Some(values) = values {
+                    let obj = built.model.objective_value(&values);
+                    if best.is_none() || obj > best_obj {
+                        best_obj = obj;
+                        best = Some(values);
+                    }
+                }
+            };
+            if self.warm_start_with_pm {
+                let pm_plan = Pm::new().recover(inst)?;
+                offer(built.warm_start_values(inst, &pm_plan, budget));
+            }
+            if let Some(hint) = hint {
+                offer(built.warm_start_values(inst, hint, budget));
+            }
+            if let Some(values) = best {
                 solver = solver.warm_start(values);
             }
             drop(warm_span);
@@ -757,6 +794,26 @@ mod tests {
             .unwrap();
         let prog = Programmability::compute(&net);
         (net, prog)
+    }
+
+    #[test]
+    fn warm_hint_from_adjacent_case_keeps_optimality() {
+        // Hint the C0 solve with the plan of the colex-adjacent C1 case;
+        // the hint is re-encoded against the C0 instance and must never
+        // change a proved-optimal objective.
+        let (net, prog) = small();
+        let sc_prev = net.fail(&[ControllerId(1)]).unwrap();
+        let inst_prev = FmssmInstance::new(&sc_prev, &prog);
+        let hint = Pm::new().recover(&inst_prev).unwrap();
+
+        let sc = net.fail(&[ControllerId(0)]).unwrap();
+        let inst = FmssmInstance::new(&sc, &prog);
+        let solver = Optimal::new().time_limit(Duration::from_secs(20));
+        let cold = solver.solve_detailed(&inst).unwrap();
+        let hinted = solver.solve_detailed_with_hint(&inst, Some(&hint)).unwrap();
+        assert!(cold.proved_optimal() && hinted.proved_optimal());
+        assert!((cold.objective - hinted.objective).abs() < 1e-6);
+        hinted.plan.validate(&sc, &prog, false).unwrap();
     }
 
     #[test]

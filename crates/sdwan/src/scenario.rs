@@ -324,6 +324,12 @@ pub struct FailureScenario<'net> {
     offline_switch_mask: Vec<bool>,
     /// Dense per-flow offline mask, indexed by `FlowId`.
     offline_flow_mask: Vec<bool>,
+    /// Per-flow count of offline switches on the flow's path, indexed by
+    /// `FlowId`. A flow is offline iff its count is positive; the count (not
+    /// the boolean) is what makes [`FailureScenario::apply_delta`] exact —
+    /// reviving one controller only clears a flow when no other failed
+    /// controller still touches its path.
+    offline_path_hits: Vec<u32>,
     /// Residual capacity per controller id (`None` for failed controllers).
     residual: Vec<Option<u32>>,
     /// Nearest active controller per offline switch (the `α_ij` of Eq. (6)).
@@ -395,12 +401,13 @@ impl SdWan {
             .map(SwitchId)
             .collect();
 
-        let mut offline_flow_mask = vec![false; self.flows.len()];
+        let mut offline_path_hits = vec![0u32; self.flows.len()];
         for &s in &offline_switches {
             for &l in &self.flows_at[s.0] {
-                offline_flow_mask[l.0] = true;
+                offline_path_hits[l.0] += 1;
             }
         }
+        let offline_flow_mask: Vec<bool> = offline_path_hits.iter().map(|&h| h > 0).collect();
         let offline_flows: Vec<FlowId> = (0..self.flows.len())
             .filter(|&l| offline_flow_mask[l])
             .map(FlowId)
@@ -434,6 +441,7 @@ impl SdWan {
             offline_flows,
             offline_switch_mask,
             offline_flow_mask,
+            offline_path_hits,
             residual,
             nearest_active,
             ideal_delay_g,
@@ -512,7 +520,188 @@ impl<'net> FailureScenario<'net> {
             .filter(|&s| self.is_offline(s))
             .collect()
     }
+
+    /// Builds the scenario whose failed set is `prev`'s with `remove`
+    /// revived and `add` newly failed, by patching `prev`'s derived state
+    /// instead of rebuilding it. Colex-adjacent scenario ranks share f−1
+    /// failed controllers, so sweeping in rank order makes every transition
+    /// a short chain of such swaps; the result is field-for-field identical
+    /// (including the bit pattern of [`FailureScenario::ideal_delay_g`]) to
+    /// `net.fail(&new_failed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdwanError::InvalidScenario`] if `remove` is not currently
+    /// failed or `add` already is (this also rejects `remove == add`), and
+    /// [`SdwanError::UnknownController`] for out-of-range ids.
+    pub fn delta_from(
+        prev: &FailureScenario<'net>,
+        remove: ControllerId,
+        add: ControllerId,
+    ) -> Result<FailureScenario<'net>, SdwanError> {
+        let mut next = prev.clone();
+        next.apply_delta(remove, add)?;
+        Ok(next)
+    }
+
+    /// In-place form of [`FailureScenario::delta_from`], recomputing the
+    /// revived controller's residual capacity from the network.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FailureScenario::delta_from`].
+    pub fn apply_delta(
+        &mut self,
+        remove: ControllerId,
+        add: ControllerId,
+    ) -> Result<(), SdwanError> {
+        let net = self.net;
+        self.apply_delta_impl(remove, add, |c| net.residual_capacity(c))
+    }
+
+    /// Like [`FailureScenario::apply_delta`], reading the revived
+    /// controller's residual capacity from a precomputed [`NetCache`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`FailureScenario::delta_from`].
+    pub fn apply_delta_cached(
+        &mut self,
+        remove: ControllerId,
+        add: ControllerId,
+        cache: &NetCache,
+    ) -> Result<(), SdwanError> {
+        self.apply_delta_impl(remove, add, |c| cache.residual_capacity(c))
+    }
+
+    fn apply_delta_impl(
+        &mut self,
+        remove: ControllerId,
+        add: ControllerId,
+        residual_of: impl Fn(ControllerId) -> u32,
+    ) -> Result<(), SdwanError> {
+        let net = self.net;
+        net.check_controller(remove)?;
+        net.check_controller(add)?;
+        if !self.failed.contains(&remove) {
+            return Err(SdwanError::InvalidScenario(format!(
+                "controller {remove} is not failed"
+            )));
+        }
+        if self.failed.contains(&add) {
+            return Err(SdwanError::InvalidScenario(format!(
+                "controller {add} is already failed"
+            )));
+        }
+
+        self.failed.retain(|&c| c != remove);
+        let pos = self.failed.binary_search(&add).unwrap_err();
+        self.failed.insert(pos, add);
+        self.active.retain(|&c| c != add);
+        let pos = self.active.binary_search(&remove).unwrap_err();
+        self.active.insert(pos, remove);
+
+        self.residual[remove.0] = Some(residual_of(remove));
+        self.residual[add.0] = None;
+
+        // Patch the switch mask and per-flow path-hit counts only where the
+        // two swapped domains touch them.
+        for s in 0..net.switch_count() {
+            let owner = net.domain[s];
+            if owner == remove {
+                self.offline_switch_mask[s] = false;
+                for &l in &net.flows_at[s] {
+                    self.offline_path_hits[l.0] -= 1;
+                    if self.offline_path_hits[l.0] == 0 {
+                        self.offline_flow_mask[l.0] = false;
+                    }
+                }
+            } else if owner == add {
+                self.offline_switch_mask[s] = true;
+                for &l in &net.flows_at[s] {
+                    self.offline_path_hits[l.0] += 1;
+                    self.offline_flow_mask[l.0] = true;
+                }
+            }
+        }
+
+        self.offline_switches.clear();
+        self.offline_switches.extend(
+            (0..net.switch_count())
+                .filter(|&s| self.offline_switch_mask[s])
+                .map(SwitchId),
+        );
+        self.offline_flows.clear();
+        self.offline_flows.extend(
+            (0..net.flows.len())
+                .filter(|&l| self.offline_flow_mask[l])
+                .map(FlowId),
+        );
+
+        // Nearest-active assignments survive the swap except where the
+        // swapped controllers can influence them: a previous winner that was
+        // `add` is gone, and a revived `remove` that is at least as near as
+        // the previous winner forces a re-pick under the fresh build's exact
+        // tie behavior. `G` is re-summed in ascending offline order so the
+        // float accumulation order (and hence the bit pattern) matches a
+        // fresh build.
+        let old = std::mem::take(&mut self.nearest_active);
+        let mut old_iter = old.iter().peekable();
+        self.nearest_active.reserve(self.offline_switches.len());
+        let mut ideal_delay_g = 0.0;
+        for &s in &self.offline_switches {
+            while old_iter.peek().is_some_and(|&&(os, _)| os < s) {
+                old_iter.next();
+            }
+            let kept = match old_iter.peek() {
+                Some(&&(os, c)) if os == s => Some(c),
+                _ => None,
+            };
+            let nearest = match kept {
+                Some(c) if c != add && net.ctrl_delay[s.0][remove.0] > net.ctrl_delay[s.0][c.0] => {
+                    c
+                }
+                _ => self
+                    .active
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        net.ctrl_delay[s.0][a.0]
+                            .partial_cmp(&net.ctrl_delay[s.0][b.0])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("at least one active controller"),
+            };
+            self.nearest_active.push((s, nearest));
+            ideal_delay_g += net.gamma(s) as f64 * net.ctrl_delay[s.0][nearest.0];
+        }
+        self.ideal_delay_g = ideal_delay_g;
+        Ok(())
+    }
 }
+
+/// Two scenarios are equal when they describe the same failed set over the
+/// same network object and every derived field — including the exact bit
+/// pattern of `ideal_delay_g` — matches. This is the byte-identity contract
+/// of the incremental delta path: `delta_from` results compare equal to
+/// fresh `fail` builds.
+impl PartialEq for FailureScenario<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.net, other.net)
+            && self.failed == other.failed
+            && self.active == other.active
+            && self.offline_switches == other.offline_switches
+            && self.offline_flows == other.offline_flows
+            && self.offline_switch_mask == other.offline_switch_mask
+            && self.offline_flow_mask == other.offline_flow_mask
+            && self.offline_path_hits == other.offline_path_hits
+            && self.residual == other.residual
+            && self.nearest_active == other.nearest_active
+            && self.ideal_delay_g.to_bits() == other.ideal_delay_g.to_bits()
+    }
+}
+
+impl Eq for FailureScenario<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -715,6 +904,93 @@ mod tests {
                 .build();
             assert!(err.is_err(), "headroom {headroom} should be rejected");
         }
+    }
+
+    #[test]
+    fn delta_matches_fresh_over_all_single_swaps() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let m = net.controllers().len();
+        for a in 0..m {
+            for b in 0..m {
+                if a == b {
+                    continue;
+                }
+                let prev = net.fail(&[ControllerId(a)]).unwrap();
+                let next =
+                    FailureScenario::delta_from(&prev, ControllerId(a), ControllerId(b)).unwrap();
+                let fresh = net.fail(&[ControllerId(b)]).unwrap();
+                assert_eq!(next, fresh, "swap C{a}->C{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_chain_matches_fresh_at_f2() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let m = net.controllers().len();
+        // Walk every 2-subset in colex order via single swaps, checking the
+        // running scenario against a fresh build at each step.
+        let mut cur = net.fail(&[ControllerId(0), ControllerId(1)]).unwrap();
+        let mut prev_set = [0usize, 1];
+        for hi in 1..m {
+            for lo in 0..hi {
+                if [lo, hi] == prev_set {
+                    continue;
+                }
+                // Swap out elements of prev_set not in {lo, hi}, one at a time.
+                let target = [lo, hi];
+                let outs: Vec<usize> = prev_set
+                    .iter()
+                    .copied()
+                    .filter(|c| !target.contains(c))
+                    .collect();
+                let ins: Vec<usize> = target
+                    .iter()
+                    .copied()
+                    .filter(|c| !prev_set.contains(c))
+                    .collect();
+                assert_eq!(outs.len(), ins.len());
+                for (&out, &into) in outs.iter().zip(&ins) {
+                    cur.apply_delta(ControllerId(out), ControllerId(into))
+                        .unwrap();
+                }
+                prev_set = target;
+                let fresh = net.fail(&[ControllerId(lo), ControllerId(hi)]).unwrap();
+                assert_eq!(cur, fresh, "chain to {{C{lo}, C{hi}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_cached_matches_fail_cached() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let cache = NetCache::build(&net);
+        let mut cur = net
+            .fail_cached(&[ControllerId(0), ControllerId(2)], &cache)
+            .unwrap();
+        cur.apply_delta_cached(ControllerId(0), ControllerId(4), &cache)
+            .unwrap();
+        let fresh = net
+            .fail_cached(&[ControllerId(2), ControllerId(4)], &cache)
+            .unwrap();
+        assert_eq!(cur, fresh);
+    }
+
+    #[test]
+    fn delta_rejects_bad_swaps() {
+        let net = SdWanBuilder::att_paper_setup().build().unwrap();
+        let prev = net.fail(&[ControllerId(0)]).unwrap();
+        // `remove` not failed.
+        assert!(FailureScenario::delta_from(&prev, ControllerId(1), ControllerId(2)).is_err());
+        // `add` already failed (also covers remove == add).
+        assert!(FailureScenario::delta_from(&prev, ControllerId(0), ControllerId(0)).is_err());
+        // Unknown ids.
+        assert!(FailureScenario::delta_from(&prev, ControllerId(0), ControllerId(9)).is_err());
+        assert!(FailureScenario::delta_from(&prev, ControllerId(9), ControllerId(1)).is_err());
+        // Errors leave the scenario untouched.
+        let mut cur = net.fail(&[ControllerId(0)]).unwrap();
+        assert!(cur.apply_delta(ControllerId(1), ControllerId(2)).is_err());
+        assert_eq!(cur, prev);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The incremental solver core's contract: every delta-updated structure
+//! is indistinguishable from a fresh build.
+//!
+//! Property-tested over seeded Waxman WANs (the scale drills' topology
+//! family): scenario deltas, scenario-programmability deltas and
+//! workspace-reusing PM runs must equal their cold counterparts exactly,
+//! and the sweep engine's delta path must reproduce the recompute path
+//! byte for byte at every `--jobs` × `--shard` combination.
+
+use pm_bench::{build_wan, CaseResult, EvalOptions, SweepEngine, WanSpec};
+use pm_core::{FmssmInstance, Pm, PmWorkspace, RecoveryAlgorithm};
+use pm_sdwan::{ControllerId, FailureScenario, Programmability, SdWan};
+use pm_topo::rng::DetRng;
+use proptest::prelude::*;
+
+/// A small Waxman WAN in the scale binaries' family, sized for test speed.
+fn wan(seed: u64, nodes: usize, controllers: usize) -> SdWan {
+    build_wan(&WanSpec {
+        nodes,
+        controllers,
+        flows: 96,
+        headroom: 1.5,
+        seed,
+    })
+    .net
+}
+
+/// `count` distinct f-subsets of `0..m`, each colex-adjacent chains can
+/// walk; consecutive sets may differ in several controllers.
+fn failure_sets(rng: &mut DetRng, m: usize, f: usize, count: usize) -> Vec<Vec<ControllerId>> {
+    let mut sets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut all: Vec<usize> = (0..m).collect();
+        for i in 0..f {
+            let j = i + (rng.next_u64() as usize) % (m - i);
+            all.swap(i, j);
+        }
+        let mut failed: Vec<ControllerId> = all[..f].iter().map(|&c| ControllerId(c)).collect();
+        failed.sort_by_key(|c| c.0);
+        sets.push(failed);
+    }
+    sets
+}
+
+/// Advances `scenario` from its current failure set to `next` by a chain
+/// of single (revived, failed) swaps — the sweep engine's delta walk.
+fn walk_delta(scenario: &mut FailureScenario<'_>, next: &[ControllerId]) {
+    let outs: Vec<ControllerId> = scenario
+        .failed_controllers()
+        .iter()
+        .copied()
+        .filter(|c| !next.contains(c))
+        .collect();
+    let ins: Vec<ControllerId> = next
+        .iter()
+        .copied()
+        .filter(|c| !scenario.failed_controllers().contains(c))
+        .collect();
+    assert_eq!(outs.len(), ins.len(), "same failure count either side");
+    for (&remove, &add) in outs.iter().zip(&ins) {
+        scenario
+            .apply_delta(remove, add)
+            .expect("symmetric-difference swaps are valid");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Delta-walked scenarios equal fresh builds field for field
+    /// (including the bit pattern of the ideal-delay bound) over random
+    /// failure-set chains on seeded Waxman WANs.
+    #[test]
+    fn scenario_delta_chain_equals_fresh_builds(
+        seed in 0u64..1_000,
+        nodes in 40usize..100,
+        f in 1usize..=3,
+    ) {
+        let net = wan(seed, nodes, 6);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x5eed);
+        let sets = failure_sets(&mut rng, 6, f, 6);
+        let mut rolling = net.fail(&sets[0]).expect("valid case");
+        for failed in &sets {
+            walk_delta(&mut rolling, failed);
+            let fresh = net.fail(failed).expect("valid case");
+            prop_assert!(rolling == fresh, "delta diverged at {failed:?}");
+        }
+    }
+
+    /// The scenario-projected programmability table stays equal to a fresh
+    /// projection under the same delta chain.
+    #[test]
+    fn scenario_programmability_delta_equals_fresh_projection(
+        seed in 0u64..1_000,
+        nodes in 40usize..100,
+        f in 1usize..=3,
+    ) {
+        let net = wan(seed, nodes, 6);
+        let prog = Programmability::compute(&net);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xab1e);
+        let sets = failure_sets(&mut rng, 6, f, 6);
+        let mut rolling = net.fail(&sets[0]).expect("valid case");
+        let mut table = prog.scenario_table(&rolling);
+        for failed in &sets {
+            let before: Vec<ControllerId> = rolling.failed_controllers().to_vec();
+            walk_delta(&mut rolling, failed);
+            let outs: Vec<ControllerId> =
+                before.iter().copied().filter(|c| !failed.contains(c)).collect();
+            let ins: Vec<ControllerId> =
+                failed.iter().copied().filter(|c| !before.contains(c)).collect();
+            for (&remove, &add) in outs.iter().zip(&ins) {
+                table.apply_delta(&net, &prog, remove, add);
+            }
+            prop_assert_eq!(&table, &prog.scenario_table(&rolling));
+        }
+    }
+
+    /// PM run in a carried workspace produces the same plan as a cold run
+    /// on every case of a chain: the workspace reuses allocations, never
+    /// decisions.
+    #[test]
+    fn pm_workspace_chain_equals_cold_runs(
+        seed in 0u64..1_000,
+        nodes in 40usize..100,
+        f in 1usize..=3,
+    ) {
+        let net = wan(seed, nodes, 6);
+        let prog = Programmability::compute(&net);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xcafe);
+        let sets = failure_sets(&mut rng, 6, f, 6);
+        let mut ws = PmWorkspace::default();
+        for failed in &sets {
+            let scenario = net.fail(failed).expect("valid case");
+            let inst = FmssmInstance::new(&scenario, &prog);
+            let warm = Pm::new().recover_in(&inst, &mut ws).expect("PM recovers");
+            let cold = Pm::new().recover(&inst).expect("PM recovers");
+            prop_assert_eq!(warm, cold, "workspace changed the plan at {:?}", failed);
+        }
+    }
+}
+
+/// All recorded result fields of a case — everything except wall-clock
+/// times — as a comparable string.
+fn fingerprint(case: &CaseResult) -> String {
+    let runs: Vec<String> = case
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{}|{:?}|{}|{:?}",
+                r.name,
+                r.metrics,
+                r.total_delay.to_bits(),
+                r.proved_optimal
+            )
+        })
+        .collect();
+    format!("{}#{:?}#{}", case.label, case.failed, runs.join(";"))
+}
+
+fn sweep_fingerprints(net: &SdWan, opts: EvalOptions) -> Vec<String> {
+    SweepEngine::new(net, opts)
+        .sweep(2)
+        .iter()
+        .map(fingerprint)
+        .collect()
+}
+
+/// The acceptance matrix: delta-path sweeps are byte-identical to the cold
+/// recompute path at jobs ∈ {1, 8} × shard m ∈ {1, 3}, and the shards
+/// reassemble the unsharded sweep.
+#[test]
+fn delta_sweeps_match_recompute_across_jobs_and_shards() {
+    let net = wan(7, 80, 6);
+    let base = EvalOptions {
+        skip_optimal: true,
+        batch: 4,
+        ..Default::default()
+    };
+    let reference = sweep_fingerprints(
+        &net,
+        EvalOptions {
+            jobs: 1,
+            incremental: false,
+            ..base.clone()
+        },
+    );
+    assert!(!reference.is_empty());
+    for jobs in [1usize, 8] {
+        for m in [1usize, 3] {
+            let mut union = Vec::new();
+            for i in 1..=m {
+                let opts = EvalOptions {
+                    jobs,
+                    shard: (m > 1).then_some((i, m)),
+                    ..base.clone()
+                };
+                union.extend(sweep_fingerprints(&net, opts));
+            }
+            assert_eq!(
+                union, reference,
+                "delta path diverged from recompute at jobs={jobs} shards={m}"
+            );
+        }
+    }
+}

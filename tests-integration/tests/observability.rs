@@ -101,6 +101,49 @@ fn metrics_enabled_runs_are_byte_identical_to_disabled_runs() {
             .any(|(n, _)| n == "sweep.queue_wait_ns"),
         "queue-wait histogram recorded"
     );
+    assert!(
+        counter("sweep.scenario.delta_cases").is_some(),
+        "incremental sweep path records its delta counters"
+    );
+
+    // Phase 3b: the incremental-solver counters are optional metrics — no
+    // schema bump — that appear once the exact solver runs with the
+    // recorder on.
+    assert!(
+        counter("milp.simplex.refactorizations").is_none(),
+        "no MILP ran yet, so no simplex counters"
+    );
+    {
+        use pm_core::{FmssmInstance, Optimal};
+        use pm_sdwan::{ControllerId, Programmability};
+        let prog = Programmability::compute(&net);
+        let scenario = net.fail(&[ControllerId(0)]).expect("valid case");
+        let inst = FmssmInstance::new(&scenario, &prog);
+        Optimal::new()
+            .time_limit(std::time::Duration::from_secs(5))
+            .solve_detailed(&inst)
+            .expect("small instance solves");
+    }
+    let snap = pm_obs::snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    assert!(
+        counter("milp.simplex.refactorizations").is_some(),
+        "revised simplex reports refactorization work"
+    );
+    assert!(
+        counter("milp.basis.reuse_hits").is_some(),
+        "basis reuse across B&B nodes is observable"
+    );
+    assert_eq!(
+        pm_obs::METRICS_SCHEMA_VERSION,
+        1,
+        "optional counters must not bump the metrics schema"
+    );
 
     // Phase 4: exported metrics JSON is valid and its layout is pinned.
     let metrics = pm_obs::metrics_json();
