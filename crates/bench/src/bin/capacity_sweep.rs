@@ -23,6 +23,7 @@ const CAPACITIES: [u32; 8] = [450, 475, 500, 525, 550, 600, 700, 800];
 
 fn main() {
     let opts = EvalOptions::from_args();
+    let _plane = opts.start_telemetry_plane();
     let results = par_map(&CAPACITIES, opts.jobs, |_, &capacity| {
         let builder = SdWanBuilder::att_paper_setup_with_capacity(capacity);
         // Below ~490 some domain overloads; study that regime too.

@@ -5,5 +5,6 @@
 
 fn main() {
     let opts = pm_bench::EvalOptions::from_args();
+    let _plane = opts.start_telemetry_plane();
     pm_bench::figures::run_failure_figure(1, "fig4", false, &opts);
 }

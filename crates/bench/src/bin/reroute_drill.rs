@@ -18,6 +18,7 @@ use pm_sdwan::{ControllerId, SdWanBuilder, SwitchId};
 
 fn main() {
     let opts = EvalOptions::from_args();
+    let _plane = opts.start_telemetry_plane();
     let net = SdWanBuilder::att_paper_setup()
         .build()
         .expect("paper setup builds");

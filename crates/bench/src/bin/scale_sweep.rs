@@ -141,6 +141,7 @@ fn main() {
     // The recorder backs the live-peak accounting below even when no
     // telemetry export was requested.
     pm_obs::enable();
+    let _plane = opts.start_telemetry_plane();
 
     eprintln!(
         "scale_sweep: generating waxman n={} (beta {:.4}, seed {})...",

@@ -11,6 +11,7 @@ use pm_topo::att::PAPER_FLOW_COUNTS;
 
 fn main() {
     let opts = EvalOptions::from_args();
+    let _plane = opts.start_telemetry_plane();
     let net = SdWanBuilder::att_paper_setup()
         .build()
         .expect("paper setup builds");

@@ -131,6 +131,7 @@ fn main() {
     // The recorder backs the live-peak accounting even when no telemetry
     // export was requested.
     pm_obs::enable();
+    let _plane = opts.start_telemetry_plane();
 
     eprintln!(
         "timeline_sweep: generating waxman n={} (seed {})...",

@@ -161,7 +161,9 @@ impl EventLog {
         }
     }
 
-    /// Marks the end of the current sweep.
+    /// Marks the end of the current sweep and pushes everything buffered
+    /// so far to the file: a sweep boundary is exactly where an external
+    /// watcher (`pmctl obs top --events`) wants a consistent prefix.
     pub fn sweep_finish(&self) {
         let mut inner = self.lock();
         let cases = inner.done;
@@ -171,6 +173,9 @@ impl EventLog {
             "{{\"event\": \"sweep_finish\", \"t_ms\": {t_ms}, \"cases\": {cases}, \
              \"elapsed_ms\": {elapsed_ms}}}"
         ));
+        if let Some(out) = &mut inner.out {
+            let _ = out.flush();
+        }
     }
 
     /// Flushes the underlying file, reporting any deferred write error.
@@ -194,6 +199,16 @@ impl EventLog {
 
     fn t_ms(&self) -> u128 {
         self.epoch.elapsed().as_millis()
+    }
+}
+
+impl Drop for EventLog {
+    /// Best-effort flush so buffered lines (a mid-sweep panic unwinding
+    /// through `Arc` drops, a binary that forgot `close`) survive on
+    /// disk; a truncated final line is possible, so readers must tolerate
+    /// one (the replay test pins that).
+    fn drop(&mut self) {
+        let _ = self.close();
     }
 }
 
@@ -295,5 +310,42 @@ mod tests {
         for line in example_lines().lines() {
             pm_obs::json::validate(line).expect(line);
         }
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines_and_truncated_streams_replay() {
+        let dir = std::env::temp_dir().join(format!("pm-events-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            // No close(): the Drop impl must push the BufWriter's buffer
+            // (well under 8 KiB here, so nothing reached the file yet)
+            // out to disk.
+            let log = EventLog::create(Some(&path), false).unwrap();
+            log.sweep_start(1, 1);
+            let t = log.case_start("(7)");
+            log.case_finish(t, "(7)");
+            log.sweep_finish();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines()
+                .any(|l| l.contains("\"event\": \"sweep_finish\"")),
+            "drop must flush: {text}"
+        );
+
+        // A panic can still truncate mid-line (the OS flushes what it
+        // has). Replay of such a stream — the consumer contract pmctl
+        // obs top relies on — recovers every complete line and skips
+        // exactly the torn tail.
+        let mut truncated = text.clone();
+        truncated.push_str("{\"event\": \"case_start\", \"t_ms\": 99, \"se");
+        let replayed: Vec<&str> = truncated
+            .lines()
+            .filter(|l| pm_obs::json::validate(l).is_ok())
+            .collect();
+        assert_eq!(replayed.len(), text.lines().count());
+        assert!(replayed.last().unwrap().contains("sweep_finish"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

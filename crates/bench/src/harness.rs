@@ -63,6 +63,20 @@ pub struct EvalOptions {
     /// case. Results are byte-identical either way (`--no-incremental`
     /// forces the cold recompute path, e.g. to verify exactly that).
     pub incremental: bool,
+    /// Serve live telemetry over HTTP while the run is in flight
+    /// (`--serve ADDR`, e.g. `127.0.0.1:9464`; port `0` picks an
+    /// ephemeral port, printed to stderr). Implies the recorder and a
+    /// sampler at the default interval. Serving only reads recorder
+    /// snapshots, so results never change.
+    pub serve: Option<String>,
+    /// Interval-snapshot the recorder every this many milliseconds
+    /// (`--sample-interval MS`; `--serve` implies 250). Feeds the
+    /// `timeseries` section of the metrics JSON and `/timeseries.json`.
+    pub sample_interval_ms: Option<u64>,
+    /// Arm the flight recorder and write its dump here on panic
+    /// (`--flight FILE`): the last K spans per thread and counter deltas,
+    /// for post-mortem debugging at scale without a full trace.
+    pub flight_path: Option<std::path::PathBuf>,
 }
 
 impl Default for EvalOptions {
@@ -82,7 +96,37 @@ impl Default for EvalOptions {
             batch: 32,
             eager_warm: true,
             incremental: true,
+            serve: None,
+            sample_interval_ms: None,
+            flight_path: None,
         }
+    }
+}
+
+/// RAII guard for the live telemetry plane: the interval sampler, the
+/// HTTP listener and the armed flight recorder, whichever of them the
+/// options requested. Hold it for the duration of the measured work —
+/// dropping it takes the sampler's final interval and closes the
+/// listener. Obtained from [`EvalOptions::start_telemetry_plane`].
+#[derive(Debug, Default)]
+pub struct TelemetryPlane {
+    // Declaration order is drop order: stop serving before the sampler
+    // takes its final interval, so the last scrape a client sees is
+    // never mid-teardown.
+    server: Option<pm_obs::MetricsServer>,
+    sampler: Option<pm_obs::Sampler>,
+}
+
+impl TelemetryPlane {
+    /// The listener's bound address, when `--serve` was given — the way
+    /// to learn the real port after binding port 0.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(|s| s.local_addr())
+    }
+
+    /// Whether any part of the plane (sampler or listener) is live.
+    pub fn is_active(&self) -> bool {
+        self.server.is_some() || self.sampler.is_some()
     }
 }
 
@@ -207,12 +251,40 @@ impl EvalOptions {
                     opts.batch = v;
                 }
                 "--no-incremental" => opts.incremental = false,
+                "--serve" => {
+                    let addr = args.next().unwrap_or_else(|| {
+                        eprintln!("--serve needs an ADDR argument, e.g. --serve 127.0.0.1:9464");
+                        std::process::exit(2);
+                    });
+                    opts.serve = Some(addr);
+                    pm_obs::enable();
+                }
+                "--sample-interval" => {
+                    let v: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--sample-interval needs a positive integer (milliseconds)");
+                        std::process::exit(2);
+                    });
+                    if v == 0 {
+                        eprintln!("--sample-interval needs a positive integer (milliseconds)");
+                        std::process::exit(2);
+                    }
+                    opts.sample_interval_ms = Some(v);
+                    pm_obs::enable();
+                }
+                "--flight" => {
+                    let file = args.next().unwrap_or_else(|| {
+                        eprintln!("--flight needs a file argument");
+                        std::process::exit(2);
+                    });
+                    opts.flight_path = Some(file.into());
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
                          \x20        [--shard i/m] [--max-scenarios N] [--seed N] [--batch N]\n\
                          \x20        [--trace FILE] [--metrics FILE] [--prom FILE]\n\
                          \x20        [--events FILE] [--progress] [--no-incremental]\n\
+                         \x20        [--serve ADDR] [--sample-interval MS] [--flight FILE]\n\
                          regenerates one of the paper's evaluation artifacts;\n\
                          --shard runs only the i-th of m contiguous slices of each sweep\n\
                          --max-scenarios caps a sweep, sampling ranks without replacement\n\
@@ -224,7 +296,13 @@ impl EvalOptions {
                          --events streams per-case progress as JSON lines while sweeping\n\
                          --progress prints a rate-limited progress line to stderr\n\
                          --no-incremental rebuilds every scenario from scratch instead of\n\
-                         \x20 patching the previous one in place (results are identical)"
+                         \x20 patching the previous one in place (results are identical)\n\
+                         --serve exposes /metrics, /metrics.json, /timeseries.json and\n\
+                         \x20 /healthz over HTTP while the run is in flight (port 0 = ephemeral)\n\
+                         --sample-interval snapshots interval deltas every MS milliseconds\n\
+                         \x20 (--serve implies 250)\n\
+                         --flight arms the flight recorder; its ring dump is written to FILE\n\
+                         \x20 if the process panics"
                     );
                     std::process::exit(0);
                 }
@@ -241,6 +319,47 @@ impl EvalOptions {
             }
         }
         opts
+    }
+
+    /// Starts whichever parts of the live telemetry plane the options ask
+    /// for — the flight recorder's panic hook (`--flight`), the interval
+    /// sampler (`--sample-interval`, implied at 250 ms by `--serve`) and
+    /// the HTTP listener (`--serve`) — and returns the guard that keeps
+    /// them alive. Call once, before the measured work, and hold the
+    /// guard until after [`export_observability`](Self::export_observability)
+    /// so exported metrics include the captured time series. With none of
+    /// the three flags set this is free and returns an inert guard.
+    ///
+    /// A `--serve` address that fails to bind aborts the run: silently
+    /// continuing without the endpoint the user asked to watch would be
+    /// worse than failing fast.
+    pub fn start_telemetry_plane(&self) -> TelemetryPlane {
+        let mut plane = TelemetryPlane::default();
+        if let Some(path) = &self.flight_path {
+            pm_obs::flight::arm_panic_hook(path.clone());
+        }
+        if let Some(ms) = self.sample_interval_ms.or(self.serve.as_ref().map(|_| 250)) {
+            plane.sampler = Some(pm_obs::Sampler::start(pm_obs::SamplerConfig {
+                interval: Duration::from_millis(ms),
+                ..Default::default()
+            }));
+        }
+        if let Some(addr) = &self.serve {
+            match pm_obs::MetricsServer::serve(addr.as_str()) {
+                Ok(server) => {
+                    eprintln!(
+                        "serving telemetry on http://{}/metrics",
+                        server.local_addr()
+                    );
+                    plane.server = Some(server);
+                }
+                Err(e) => {
+                    eprintln!("cannot serve telemetry on {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        plane
     }
 
     /// Writes the `--trace` / `--metrics` / `--prom` files from the

@@ -29,7 +29,7 @@ pub mod timelines;
 pub mod wan;
 
 pub use events::EventLog;
-pub use harness::{AlgoRun, CaseResult, EvalOptions};
+pub use harness::{AlgoRun, CaseResult, EvalOptions, TelemetryPlane};
 pub use par::{current_worker, par_map, stream_indexed, timing_stats, SweepEngine, TimingStats};
 pub use scenario_space::{binomial, ScenarioSelection, ScenarioSpace};
 pub use sweep::combinations;

@@ -318,6 +318,7 @@ impl<'net> SweepEngine<'net> {
     /// reproduces the fresh construction exactly.
     fn run_case_in(&self, failed: &[ControllerId], state: &mut DeltaState<'net>) -> CaseResult {
         let label = case_label(self.net, failed);
+        let case_t0 = pm_obs::enabled().then(std::time::Instant::now);
         let _span = pm_obs::span_labeled("sweep.case", label.clone());
         self.advance_scenario(failed, &mut state.scenario);
         let DeltaState { scenario, ws } = state;
@@ -334,6 +335,15 @@ impl<'net> SweepEngine<'net> {
         );
         if pm_obs::enabled() {
             pm_obs::count("sweep.cases", 1);
+        }
+        // Per-case wall time as a histogram, so a live scrape can derive a
+        // running p95 (`pmctl obs top`) — the span aggregate only exposes
+        // totals and the max.
+        if let Some(t0) = case_t0 {
+            pm_obs::observe(
+                "sweep.case_ns",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         }
         CaseResult {
             failed: failed.to_vec(),

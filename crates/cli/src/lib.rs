@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod obs_cmd;
+mod obs_top;
 
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow, TwoStage};
 use pm_sdwan::{
@@ -74,7 +75,7 @@ USAGE:
   pmctl inspect  --fail N[,N..] [network options]
   pmctl sweep    [--failures K] [--jobs N] [--shard i/m] [--max-scenarios N]
                  [--seed N] [--batch N] [--csv DIR] [network options]
-  pmctl obs      report|diff|gate ...   (see pmctl obs help)
+  pmctl obs      report|diff|gate|top ...   (see pmctl obs help)
 
 Failed controllers are named by the node they sit at (the paper's
 convention): --fail 13,20 fails the controllers at nodes 13 and 20.
@@ -90,6 +91,14 @@ observability (any command):
   --metrics FILE       write aggregated counters/histograms/spans as JSON
   --prom FILE          write the same metrics in Prometheus text
                        exposition format (text/plain; version 0.0.4)
+  --serve ADDR         serve live telemetry over HTTP while the command
+                       runs: GET /metrics (Prometheus), /metrics.json,
+                       /timeseries.json, /healthz; use 127.0.0.1:0 for
+                       an ephemeral port (printed to stderr)
+  --sample-interval MS capture interval time-series snapshots every MS
+                       milliseconds (default 250 when --serve is given)
+  --flight FILE        arm the flight recorder: on panic, dump the last
+                       spans and counter deltas per thread to FILE
 ";
 
 /// Parsed network selection.
@@ -119,6 +128,42 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     if trace_path.is_some() || metrics_path.is_some() || prom_path.is_some() {
         pm_obs::enable();
     }
+    // The live telemetry plane, also global. All three pieces are
+    // read-only over the recorder, so command outputs are identical with
+    // the plane on or off.
+    let serve_addr = take_str_flag(&mut args, "--serve")?;
+    let sample_interval = match take_str_flag(&mut args, "--sample-interval")? {
+        Some(v) => Some(v.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+            CliError::usage(format!("--sample-interval: bad interval {v} (need ms > 0)"))
+        })?),
+        None => None,
+    };
+    if let Some(path) = take_flag(&mut args, "--flight")?.map(PathBuf::from) {
+        pm_obs::flight::arm_panic_hook(path);
+    }
+    // Sampler declared before the server: locals drop in reverse order,
+    // so the listener stops serving before the sampler takes its final
+    // interval (both are also dropped explicitly below, before export).
+    let sampler = sample_interval
+        .or(serve_addr.as_ref().map(|_| 250))
+        .map(|ms| {
+            pm_obs::Sampler::start(pm_obs::SamplerConfig {
+                interval: Duration::from_millis(ms),
+                ..Default::default()
+            })
+        });
+    let server = match &serve_addr {
+        Some(addr) => {
+            let server = pm_obs::MetricsServer::serve(addr.as_str())
+                .map_err(|e| CliError::runtime(format!("cannot serve telemetry on {addr}: {e}")))?;
+            eprintln!(
+                "pmctl: serving telemetry on http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE));
     };
@@ -142,6 +187,11 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
             "unknown command {other}\n\n{USAGE}"
         ))),
     };
+    // Tear the plane down before exporting: the server stops answering
+    // first, then the sampler folds its final interval into the ring so
+    // the exports below carry the complete time series.
+    drop(server);
+    drop(sampler);
     // Telemetry is exported even when the command failed — a trace of a
     // failed run is exactly what one wants to look at.
     if let Some(path) = &trace_path {
@@ -1135,6 +1185,91 @@ mod tests {
         assert!(m.contains("\"schema_version\""));
         assert!(m.contains("pm.sdn_mode_picks"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_and_sample_interval_run_the_live_plane() {
+        let dir = std::env::temp_dir().join("pmctl_serve_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let metrics = dir.join("m.json");
+        // An ephemeral-port server plus a fast sampler around a real
+        // command; the sampler's final interval must reach the export.
+        let text = run_ok_os(&argv(
+            &[
+                "plan",
+                "--fail",
+                "13,20",
+                "--serve",
+                "127.0.0.1:0",
+                "--sample-interval",
+                "25",
+            ],
+            &[("--metrics", &metrics)],
+        ));
+        assert!(text.contains("recovered flows"), "{text}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        pm_obs::json::validate(&m).expect("metrics is valid JSON");
+        assert!(
+            m.contains("\"timeseries\""),
+            "sampled run must export the timeseries member:\n{m}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_plane_flags_reject_bad_values() {
+        let e = run_err(&["topology", "--sample-interval", "0"]);
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--sample-interval"), "{}", e.message);
+        let e = run_err(&["topology", "--serve", "256.0.0.1:bogus"]);
+        assert_eq!(e.code, 1, "bind failure is a runtime error");
+        assert!(
+            e.message.contains("cannot serve telemetry"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn obs_top_replays_an_events_stream() {
+        let dir = std::env::temp_dir().join("pmctl_top_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let events = dir.join("sweep.events.jsonl");
+        std::fs::write(
+            &events,
+            "{\"event\": \"sweep_start\", \"t_ms\": 0, \"cases\": 2, \"jobs\": 1}\n\
+             {\"event\": \"case_finish\", \"t_ms\": 400, \"seq\": 0, \"case\": \"(2)\", \
+              \"worker\": 0, \"elapsed_ms\": 400.0, \"done\": 1, \"total\": 2, \"p95_ms\": 400.0}\n\
+             {\"event\": \"case_finish\", \"t_ms\": 800, \"seq\": 1, \"case\": \"(5)\", \
+              \"worker\": 0, \"elapsed_ms\": 390.0, \"done\": 2, \"total\": 2, \"p95_ms\": 400.0}\n\
+             {\"event\": \"sweep_finish\", \"t_ms\": 810, \"cases\": 2, \"elapsed_ms\": 810.0}\n",
+        )
+        .unwrap();
+        // The finished stream stops the viewer after its first frame even
+        // without --frames; --plain keeps the output one line per frame.
+        let text = run_ok_os(&argv(
+            &["obs", "top", "--plain", "--interval-ms", "100"],
+            &[("--events", &events)],
+        ));
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("cases 2/2"), "{text}");
+        assert!(text.contains("p95<= 400.0ms"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_top_rejects_bad_sources() {
+        let e = run_err(&["obs", "top"]);
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("exactly one of"), "{}", e.message);
+        let e = run_err(&["obs", "top", "--url", "x", "--events", "y"]);
+        assert_eq!(e.code, 2);
+        let e = run_err(&["obs", "top", "--events", "/nonexistent/stream.jsonl"]);
+        assert_eq!(e.code, 1, "missing stream is a runtime error");
+        let e = run_err(&["obs", "top", "--url", "127.0.0.1:1", "--frames", "1"]);
+        assert_eq!(e.code, 1, "unreachable endpoint is a runtime error");
+        let e = run_err(&["obs", "top", "--events", "x", "--ansi", "--plain"]);
+        assert_eq!(e.code, 2);
     }
 
     #[test]

@@ -32,7 +32,9 @@ USAGE:
   pmctl obs report METRICS.json
   pmctl obs diff BASELINE.json CURRENT.json [diff options] [--md]
   pmctl obs gate [CURRENT.json] --baseline FILE [diff options]
-                 [--md-out FILE]
+                 [--md-out FILE] [--flight FILE]
+  pmctl obs top  (--url ADDR | --events FILE) [--interval-ms N]
+                 [--frames N] [--ansi|--plain]
 
 diff options:
   --max-regress P[%]   gated threshold as % of the baseline (default 10%)
@@ -41,7 +43,12 @@ diff options:
 
 `diff` reports differences (exit 0 either way); `gate` exits 3 when a
 gated quantity breaches. Without CURRENT.json, `gate` runs the baseline
-workload itself: the fig7 --skip-optimal --jobs 1 failure sweep.
+workload itself: the fig7 --skip-optimal --jobs 1 failure sweep; with
+--flight FILE a breach of that self-measured run also dumps the flight
+recorder (the last spans and counter deltas) to FILE.
+
+`top` is a live viewer for a running sweep — see `pmctl obs top` with no
+source for its own usage.
 ";
 
 /// Exit code for a breached gate: distinct from runtime errors (1) and
@@ -58,6 +65,7 @@ pub(crate) fn cmd_obs(args: &[OsString], out: &mut dyn Write) -> Result<(), CliE
         "report" => obs_report(&mut args, out),
         "diff" => obs_diff(&mut args, out),
         "gate" => obs_gate(&mut args, out),
+        "top" => crate::obs_top::cmd_obs_top(&mut args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{OBS_USAGE}");
             Ok(())
@@ -195,7 +203,12 @@ fn obs_gate(args: &mut Vec<OsString>, out: &mut dyn Write) -> Result<(), CliErro
         )));
     };
     let md_out = take_flag(args, "--md-out")?.map(PathBuf::from);
+    let flight_out = take_flag(args, "--flight")?.map(PathBuf::from);
     let current = if args.is_empty() {
+        // Arm before the workload so a breach has recent spans to dump.
+        if flight_out.is_some() {
+            pm_obs::flight::arm(pm_obs::flight::FlightConfig::default());
+        }
         self_measured_baseline_workload()?
     } else {
         let path = take_path(args, "CURRENT.json")?;
@@ -211,6 +224,10 @@ fn obs_gate(args: &mut Vec<OsString>, out: &mut dyn Write) -> Result<(), CliErro
         let _ = writeln!(out, "gate report written to {}", path.display());
     }
     if report.breached() {
+        if let Some(path) = &flight_out {
+            pm_obs::flight::write_dump(path).map_err(CliError::runtime)?;
+            let _ = writeln!(out, "flight recorder dump written to {}", path.display());
+        }
         Err(CliError {
             code: GATE_EXIT,
             message: format!(

@@ -142,11 +142,16 @@ pub fn metrics_json() -> String {
             agg.max_ns
         );
     }
-    out.push_str(if snap.spans.is_empty() {
-        "}\n"
-    } else {
-        "\n  }\n"
-    });
+    out.push_str(if snap.spans.is_empty() { "}" } else { "\n  }" });
+    // Additive: present only while a live sampler has captured intervals,
+    // so sampler-less runs stay byte-identical to earlier schema-v1 docs
+    // (same contract as the phase_breakdown precedent — readers that
+    // ignore unknown members keep working, the version does not bump).
+    if let Some(member) = crate::timeseries::metrics_json_member() {
+        out.push_str(",\n");
+        out.push_str(&member);
+    }
+    out.push('\n');
     out.push_str("}\n");
     out
 }
@@ -168,7 +173,14 @@ pub fn metrics_json() -> String {
 ///   `pm_span_count{span="..."}`, `pm_span_total_ns{span="..."}` and
 ///   `pm_span_max_ns{span="..."}`.
 pub fn prometheus_text() -> String {
-    prometheus_from_snapshot(&snapshot())
+    let mut out = prometheus_from_snapshot(&snapshot());
+    // While a sampler is live, append the latest interval's rates as
+    // timestamped gauges (the exposition format's optional timestamp
+    // field) — the live half of a `/metrics` scrape.
+    if let Some(member) = crate::timeseries::prometheus_member() {
+        out.push_str(&member);
+    }
+    out
 }
 
 /// [`prometheus_text`] over an explicit [`Snapshot`] (testable without the
@@ -209,7 +221,12 @@ pub fn prometheus_from_snapshot(snap: &Snapshot) -> String {
             let _ = writeln!(out, "# HELP {fam} per-name span aggregate");
             let _ = writeln!(out, "# TYPE {fam} gauge");
             for s in &snap.spans {
-                let _ = writeln!(out, "{fam}{{span=\"{}\"}} {}", label_esc(s.name), get(s));
+                let _ = writeln!(
+                    out,
+                    "{fam}{{span=\"{}\"}} {}",
+                    escape_label_value(s.name),
+                    get(s)
+                );
             }
         }
     }
@@ -236,8 +253,13 @@ fn help_esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-/// Escapes a label value per the exposition format (`\\`, `"`, `\n`).
-fn label_esc(s: &str) -> String {
+/// Escapes a label value per the Prometheus 0.0.4 text exposition rules:
+/// `\\` → `\\\\`, `"` → `\\"`, newline → `\\n` — backslash first, so
+/// already-present backslashes cannot combine with a following `n` or
+/// quote into a spurious escape. Public because sweep `label` strings
+/// originate from user-supplied topology names; anything emitting labelled
+/// families must route values through here.
+pub fn escape_label_value(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
@@ -374,24 +396,49 @@ mod tests {
                 }
                 continue;
             }
-            // Sample line: name[{labels}] value
-            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            // Sample line: name[{labels}] value [timestamp_ms]. Label
+            // values may contain spaces (and escaped quotes), so the
+            // name/labels part ends at the closing brace when one exists,
+            // not at the first space.
+            let (name_part, tail) = match line.rfind('}') {
+                Some(close) => line.split_at(close + 1),
+                None => line.split_once(' ').expect("sample has a value"),
+            };
+            let mut tail_parts = tail.trim_start().split(' ');
+            let value = tail_parts.next().expect("sample has a value");
             let name = name_part.split('{').next().unwrap();
             assert!(name_ok(name), "bad metric name: {line}");
             value
                 .parse::<f64>()
                 .unwrap_or_else(|_| panic!("bad value: {line}"));
+            if let Some(ts) = tail_parts.next() {
+                ts.parse::<i64>()
+                    .unwrap_or_else(|_| panic!("bad timestamp: {line}"));
+            }
+            assert!(tail_parts.next().is_none(), "trailing tokens: {line}");
             if let Some(labels) = name_part
                 .strip_prefix(name)
                 .and_then(|l| l.strip_prefix('{').and_then(|l| l.strip_suffix('}')))
             {
-                for pair in labels.split(',') {
+                // Split on `",` boundaries so escaped or spaced label
+                // values survive; each pair must be k="v" with v using
+                // only valid escapes (\\, \", \n).
+                for pair in labels.split("\",") {
                     let (k, v) = pair.split_once('=').expect("label k=v");
                     assert!(name_ok(k), "bad label name: {line}");
-                    assert!(
-                        v.starts_with('"') && v.ends_with('"'),
-                        "unquoted label value: {line}"
-                    );
+                    let v = v.strip_suffix('"').unwrap_or(v);
+                    let v = v
+                        .strip_prefix('"')
+                        .unwrap_or_else(|| panic!("unquoted label value: {line}"));
+                    let mut chars = v.chars();
+                    while let Some(c) = chars.next() {
+                        assert_ne!(c, '"', "unescaped quote in label value: {line}");
+                        assert_ne!(c, '\n', "raw newline in label value: {line}");
+                        if c == '\\' {
+                            let e = chars.next().expect("dangling backslash");
+                            assert!(matches!(e, '\\' | '"' | 'n'), "bad escape \\{e}: {line}");
+                        }
+                    }
                 }
             }
             // The family a sample belongs to must have a TYPE line already.
@@ -468,6 +515,47 @@ mod tests {
         let snap = Snapshot::default();
         assert_eq!(prometheus_from_snapshot(&snap), "");
         assert_prometheus_format("");
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_per_exposition_rules() {
+        // Sweep labels come from user-supplied topology names: quotes,
+        // backslashes and newlines must all survive as valid exposition
+        // escapes, in an order where a pre-existing backslash can never
+        // merge with a following character into a spurious escape.
+        let hostile: &'static str = "evil\"topology\\name\nline2";
+        let snap = Snapshot {
+            spans: vec![crate::SpanAgg {
+                name: hostile,
+                count: 1,
+                total_ns: 10,
+                max_ns: 10,
+            }],
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let text = prometheus_from_snapshot(&snap);
+        assert_prometheus_format(&text);
+        assert!(
+            text.contains("pm_span_count{span=\"evil\\\"topology\\\\name\\nline2\"} 1"),
+            "{text}"
+        );
+        // One physical line per sample: the newline was escaped away, so
+        // three span families render exactly HELP + TYPE + 1 sample each.
+        assert_eq!(text.lines().count(), 9, "{text}");
+        // The escape order is pinned: backslash first, then quote, then
+        // newline.
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label_value("plain"), "plain");
+    }
+
+    #[test]
+    fn format_checker_accepts_optional_timestamps() {
+        assert_prometheus_format(
+            "# HELP pm_ts_counter_rate latest-interval counter rate\n\
+             # TYPE pm_ts_counter_rate gauge\n\
+             pm_ts_counter_rate{counter=\"sweep.cases\"} 41.5 1700000000000\n",
+        );
     }
 
     #[test]

@@ -47,14 +47,19 @@
 
 pub mod baseline;
 pub mod diff;
+pub mod flight;
 pub mod json;
+pub mod serve;
+pub mod timeseries;
 
 mod export;
 
 pub use export::{
-    artifact_error, chrome_trace_json, metrics_json, prometheus_from_snapshot, prometheus_text,
-    write_artifact, write_chrome_trace, write_metrics, write_prometheus,
+    artifact_error, chrome_trace_json, escape_label_value, metrics_json, prometheus_from_snapshot,
+    prometheus_text, write_artifact, write_chrome_trace, write_metrics, write_prometheus,
 };
+pub use serve::MetricsServer;
+pub use timeseries::{Sampler, SamplerConfig};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -214,8 +219,17 @@ impl Histogram {
 /// The estimate is the *upper bound of the bucket holding the
 /// nearest-rank sample* (rank `ceil(q/100 · n)`, clamped to `[1, n]`), so
 /// it is conservative by at most one power of two — the resolution the
-/// 65-bucket layout offers. An empty histogram estimates 0.
+/// 65-bucket layout offers. An empty histogram estimates 0. The rank
+/// clamp pins the boundaries: `q = 0.0` selects rank 1 (the minimum's
+/// bucket) and any `q ≥ 100.0` selects rank `n` (the maximum's bucket).
+///
+/// # Panics
+///
+/// Panics if `q` is not finite. A NaN percentile is always a caller bug,
+/// and letting it fall through nearest-rank selection would silently
+/// report the minimum bucket (`NaN` comparisons pick rank 1).
 pub fn percentile_from_buckets(buckets: &[(u64, u64)], q: f64) -> u64 {
+    assert!(q.is_finite(), "percentile q must be finite, got {q}");
     let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
     if total == 0 {
         return 0;
@@ -288,12 +302,16 @@ impl Drop for SpanGuard {
         if let Some(data) = self.data.take() {
             let rec = recorder();
             let end = rec.now_ns();
+            let dur_ns = end.saturating_sub(data.start_ns);
+            if flight::armed() {
+                flight::record_span(data.name, &data.label, data.tid, data.start_ns, dur_ns);
+            }
             rec.lock().spans.push(SpanRecord {
                 name: data.name,
                 label: data.label,
                 tid: data.tid,
                 start_ns: data.start_ns,
-                dur_ns: end.saturating_sub(data.start_ns),
+                dur_ns,
             });
         }
     }
@@ -336,8 +354,17 @@ pub fn count(name: impl Into<String>, delta: u64) {
     if !enabled() {
         return;
     }
-    let mut inner = recorder().lock();
-    *inner.counters.entry(name.into()).or_insert(0) += delta;
+    let rec = recorder();
+    let name = name.into();
+    let total = {
+        let mut inner = rec.lock();
+        let slot = inner.counters.entry(name.clone()).or_insert(0);
+        *slot += delta;
+        *slot
+    };
+    if flight::armed() {
+        flight::record_count(rec.now_ns(), thread_id(), &name, delta, total);
+    }
 }
 
 /// Raises the counter `name` to `value` if it is currently lower — a
@@ -445,6 +472,11 @@ pub fn snapshot() -> Snapshot {
 pub(crate) fn raw_state() -> (Vec<SpanRecord>, BTreeMap<u64, String>) {
     let inner = recorder().lock();
     (inner.spans.clone(), inner.thread_labels.clone())
+}
+
+/// Internal: the thread-label table (for the flight-recorder dump).
+pub(crate) fn thread_labels() -> BTreeMap<u64, String> {
+    recorder().lock().thread_labels.clone()
 }
 
 #[cfg(test)]
@@ -586,6 +618,42 @@ mod tests {
         let mut top = Histogram::new();
         top.record(u64::MAX);
         assert_eq!(top.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_boundaries_are_pinned() {
+        // 1, 2, 4, 8 → bucket bounds 1, 3, 7, 15. q = 0.0 clamps to rank
+        // 1 (the minimum's bucket); q = 1.0 — the 1st percentile of four
+        // samples — is also rank 1; q = 100.0 is rank n (the maximum's
+        // bucket), as is any larger q.
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(1.0), 1);
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.percentile(250.0), 15);
+        assert_eq!(percentile_from_buckets(&[(9, 3)], 0.0), 9);
+        assert_eq!(percentile_from_buckets(&[(9, 3)], 1.0), 9);
+        assert_eq!(percentile_from_buckets(&[(9, 3)], 100.0), 9);
+        // Empty data stays 0 at the boundaries too.
+        assert_eq!(percentile_from_buckets(&[], 0.0), 0);
+        assert_eq!(percentile_from_buckets(&[], 100.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile q must be finite")]
+    fn percentile_rejects_nan() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let _ = h.percentile(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile q must be finite")]
+    fn percentile_rejects_infinity() {
+        let _ = percentile_from_buckets(&[(1, 1)], f64::INFINITY);
     }
 
     #[test]

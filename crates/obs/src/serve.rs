@@ -1,0 +1,310 @@
+//! A minimal in-process HTTP/1.1 metrics listener — the serving half of
+//! the telemetry plane, and the listener the future `pmd` recovery daemon
+//! will reuse (ROADMAP item 1).
+//!
+//! Zero-dep and deliberately small: one accept thread, one connection at a
+//! time (a metrics endpoint is polled by one scraper; a backlog of slow
+//! clients must never pile threads onto a busy sweep), a hand-rolled
+//! request-line parse that understands exactly `GET <path> HTTP/1.x`, and
+//! read/write timeouts so a stuck client cannot wedge shutdown. Dropping
+//! the [`MetricsServer`] guard closes the listener promptly: the drop
+//! handshake flips a stop flag and self-connects to unblock `accept`.
+//!
+//! Routes:
+//!
+//! | route               | body                                     |
+//! |---------------------|------------------------------------------|
+//! | `GET /healthz`      | `ok\n`                                   |
+//! | `GET /metrics`      | [`crate::prometheus_text`] (0.0.4)       |
+//! | `GET /metrics.json` | [`crate::metrics_json`] (schema v1)      |
+//! | `GET /timeseries.json` | [`crate::timeseries::timeseries_json`] |
+//!
+//! Everything else is `404`; non-GET methods are `405`. Serving reads the
+//! recorder through the same snapshot path as the file exporters, so a
+//! scrape can never perturb recorded results.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection socket timeout: a scraper that stalls longer than this
+/// is dropped so the accept loop stays live.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Upper bound on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running metrics listener. The socket closes when this guard drops.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
+    /// port — read it back with [`local_addr`](Self::local_addr)) and
+    /// starts serving on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error (address in use, permission, bad addr).
+    pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("pm-obs-serve".into())
+                .spawn(move || accept_loop(&listener, &stop))
+                .map_err(|e| {
+                    std::io::Error::new(e.kind(), format!("cannot spawn serve thread: {e}"))
+                })?
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — the way to learn the real port after binding
+    /// `127.0.0.1:0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; the loop re-checks the flag first thing.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn {
+            Ok((stream, _peer)) => handle_connection(stream),
+            Err(_) => {
+                // Transient accept errors (EMFILE, aborted handshakes) must
+                // not kill the plane; back off briefly and keep serving.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let request_line = match read_crlf_line(&mut reader) {
+        Some(l) => l,
+        None => return,
+    };
+    // Drain (bounded) header lines so the client sees a clean close.
+    let mut drained = request_line.len();
+    while let Some(line) = read_crlf_line(&mut reader) {
+        drained += line.len() + 2;
+        if line.is_empty() || drained > MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let (status, content_type, body) = route(&request_line);
+    let _ = write_response(&mut stream, status, content_type, &body);
+    if crate::enabled() {
+        crate::count("obs.serve.requests", 1);
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, bounded; `None` on EOF,
+/// error, or an over-long line.
+fn read_crlf_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut line = Vec::new();
+    let mut reader = Read::by_ref(reader).take(MAX_REQUEST_BYTES as u64);
+    match reader.read_until(b'\n', &mut line) {
+        Ok(0) | Err(_) => return None,
+        Ok(_) => {}
+    }
+    if line.last() != Some(&b'\n') {
+        return None; // truncated by the byte bound: treat as malformed
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).ok()
+}
+
+/// Maps a request line onto `(status line, content type, body)`.
+fn route(request_line: &str) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad request\n".to_string(),
+        );
+    }
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    // Scrapers commonly append query strings (`/metrics?format=...`).
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::prometheus_text(),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::metrics_json(),
+        ),
+        "/timeseries.json" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::timeseries::timeseries_json(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A blocking one-shot HTTP GET against `addr`; returns
+    /// `(status line, body)`.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_health_metrics_and_timeseries() {
+        let _g = crate::tests::guard();
+        crate::enable();
+        crate::reset();
+        crate::count("serve.test.counter", 11);
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(
+            body.contains("pm_serve_test_counter_total 11"),
+            "live prometheus body: {body}"
+        );
+
+        let (status, body) = http_get(addr, "/metrics.json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        crate::json::validate(&body).expect("metrics.json parses");
+        assert!(body.contains("\"serve.test.counter\": 11"));
+
+        let (status, body) = http_get(addr, "/timeseries.json?probe=1");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        crate::json::validate(&body).expect("timeseries.json parses");
+
+        let (status, _) = http_get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        // The serve counter itself advanced (live recorder, not a copy).
+        let (_, body) = http_get(addr, "/metrics.json");
+        assert!(body.contains("\"obs.serve.requests\""), "{body}");
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let _g = crate::tests::guard();
+        crate::enable();
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405 "), "{raw}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GARBAGE\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+    }
+
+    #[test]
+    fn drop_closes_the_listener_promptly() {
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released: either connect fails outright or the
+        // socket EOFs without an HTTP response.
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Err(_) => {}
+            Ok(mut s) => {
+                s.set_read_timeout(Some(Duration::from_millis(500)))
+                    .unwrap();
+                let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+                let mut raw = String::new();
+                let n = s.read_to_string(&mut raw).unwrap_or(0);
+                assert_eq!(n, 0, "no handler should answer: {raw}");
+            }
+        }
+    }
+}

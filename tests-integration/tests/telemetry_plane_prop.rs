@@ -1,0 +1,93 @@
+//! Property: no combination of the telemetry plane's knobs moves a
+//! recorded case row. `--sample-interval` on/off and `--serve` on/off
+//! (in every combination, at serial and parallel job counts) must leave
+//! the `BENCH_sweep.json` case rows byte-identical.
+//!
+//! This lives in its own test binary: [`pm_obs::Sampler::start`] enables
+//! the process-global recorder, which would race the disabled phase of
+//! the `telemetry_plane` test if they shared a process. Here the
+//! reference rows are simply "no sampler, no server" — the recorder
+//! itself being on or off is the other binary's concern.
+
+use pm_bench::figures::bench_sweep_json;
+use pm_bench::{CaseResult, EvalOptions, SweepEngine};
+use pm_sdwan::{SdWan, SdWanBuilder};
+use pm_topo::{builders, NodeId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn small_net() -> &'static SdWan {
+    static NET: OnceLock<SdWan> = OnceLock::new();
+    NET.get_or_init(|| {
+        SdWanBuilder::new(builders::grid(3, 4))
+            .controller(NodeId(0), 200)
+            .controller(NodeId(3), 200)
+            .controller(NodeId(8), 200)
+            .controller(NodeId(11), 200)
+            .all_pairs_flows()
+            .build()
+            .expect("grid network builds")
+    })
+}
+
+/// `BENCH_sweep.json` for k = 1..=2 at `jobs`, volatile lines blanked.
+fn sweep_rows(jobs: usize) -> String {
+    let opts = EvalOptions {
+        jobs,
+        skip_optimal: true,
+        ..EvalOptions::default()
+    };
+    let engine = SweepEngine::new(small_net(), opts);
+    let sweeps: Vec<(usize, Vec<CaseResult>)> = (1..=2).map(|k| (k, engine.sweep(k))).collect();
+    let refs: Vec<(usize, &[CaseResult])> =
+        sweeps.iter().map(|(k, c)| (*k, c.as_slice())).collect();
+    let json = bench_sweep_json("telemetry_plane_prop", jobs, &refs);
+    json.lines()
+        .filter(|l| !l.contains("\"mean_ms\"") && !l.trim_start().starts_with("\"jobs\":"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Reference rows per job count, captured once with no plane active.
+fn reference_rows(jobs: usize) -> &'static str {
+    static SERIAL: OnceLock<String> = OnceLock::new();
+    static PARALLEL: OnceLock<String> = OnceLock::new();
+    match jobs {
+        1 => SERIAL.get_or_init(|| sweep_rows(1)),
+        8 => PARALLEL.get_or_init(|| sweep_rows(8)),
+        other => panic!("no reference for jobs={other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn plane_knobs_never_move_case_rows(
+        (jobs, sample, serve) in (0u8..2, 0u8..2, 0u8..2)
+            .prop_map(|(j, sa, se)| (if j == 0 { 1usize } else { 8 }, sa == 1, se == 1)),
+    ) {
+        let reference = reference_rows(jobs);
+        let sampler = sample.then(|| {
+            pm_obs::Sampler::start(pm_obs::SamplerConfig {
+                interval: Duration::from_millis(10),
+                ..Default::default()
+            })
+        });
+        let server = serve.then(|| {
+            pm_obs::MetricsServer::serve("127.0.0.1:0").expect("ephemeral bind")
+        });
+        let rows = sweep_rows(jobs);
+        drop(server);
+        drop(sampler);
+        prop_assert_eq!(
+            rows,
+            reference,
+            "jobs={} sample={} serve={} moved the case rows",
+            jobs,
+            sample,
+            serve
+        );
+    }
+}
