@@ -77,6 +77,12 @@ pub struct EvalOptions {
     /// (`--flight FILE`): the last K spans per thread and counter deltas,
     /// for post-mortem debugging at scale without a full trace.
     pub flight_path: Option<std::path::PathBuf>,
+    /// Run the span-stack sampling profiler for the duration of the run
+    /// and write the folded-stack profile here at exit (`--profile
+    /// FILE`) — Brendan Gregg's format, ready for `inferno-flamegraph`,
+    /// `flamegraph.pl`, speedscope or `pmctl obs flame`. Implies the
+    /// recorder; sampling never changes results.
+    pub profile_path: Option<std::path::PathBuf>,
 }
 
 impl Default for EvalOptions {
@@ -99,6 +105,7 @@ impl Default for EvalOptions {
             serve: None,
             sample_interval_ms: None,
             flight_path: None,
+            profile_path: None,
         }
     }
 }
@@ -110,10 +117,11 @@ impl Default for EvalOptions {
 /// listener. Obtained from [`EvalOptions::start_telemetry_plane`].
 #[derive(Debug, Default)]
 pub struct TelemetryPlane {
-    // Declaration order is drop order: stop serving before the sampler
-    // takes its final interval, so the last scrape a client sees is
-    // never mid-teardown.
+    // Declaration order is drop order: stop serving before the profiler
+    // and sampler take their final snapshots, so the last scrape a
+    // client sees is never mid-teardown.
     server: Option<pm_obs::MetricsServer>,
+    profiler: Option<pm_obs::Profiler>,
     sampler: Option<pm_obs::Sampler>,
 }
 
@@ -124,9 +132,10 @@ impl TelemetryPlane {
         self.server.as_ref().map(|s| s.local_addr())
     }
 
-    /// Whether any part of the plane (sampler or listener) is live.
+    /// Whether any part of the plane (sampler, profiler or listener) is
+    /// live.
     pub fn is_active(&self) -> bool {
-        self.server.is_some() || self.sampler.is_some()
+        self.server.is_some() || self.profiler.is_some() || self.sampler.is_some()
     }
 }
 
@@ -278,6 +287,14 @@ impl EvalOptions {
                     });
                     opts.flight_path = Some(file.into());
                 }
+                "--profile" => {
+                    let file = args.next().unwrap_or_else(|| {
+                        eprintln!("--profile needs a file argument");
+                        std::process::exit(2);
+                    });
+                    opts.profile_path = Some(file.into());
+                    pm_obs::enable();
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: [--opt-secs N] [--skip-optimal] [--jobs N] [--csv DIR]\n\
@@ -285,6 +302,7 @@ impl EvalOptions {
                          \x20        [--trace FILE] [--metrics FILE] [--prom FILE]\n\
                          \x20        [--events FILE] [--progress] [--no-incremental]\n\
                          \x20        [--serve ADDR] [--sample-interval MS] [--flight FILE]\n\
+                         \x20        [--profile FILE]\n\
                          regenerates one of the paper's evaluation artifacts;\n\
                          --shard runs only the i-th of m contiguous slices of each sweep\n\
                          --max-scenarios caps a sweep, sampling ranks without replacement\n\
@@ -302,7 +320,9 @@ impl EvalOptions {
                          --sample-interval snapshots interval deltas every MS milliseconds\n\
                          \x20 (--serve implies 250)\n\
                          --flight arms the flight recorder; its ring dump is written to FILE\n\
-                         \x20 if the process panics"
+                         \x20 if the process panics\n\
+                         --profile samples the live span stacks and writes a folded-stack\n\
+                         \x20 flamegraph profile to FILE (inferno/speedscope/pmctl obs flame)"
                     );
                     std::process::exit(0);
                 }
@@ -323,12 +343,13 @@ impl EvalOptions {
 
     /// Starts whichever parts of the live telemetry plane the options ask
     /// for — the flight recorder's panic hook (`--flight`), the interval
-    /// sampler (`--sample-interval`, implied at 250 ms by `--serve`) and
-    /// the HTTP listener (`--serve`) — and returns the guard that keeps
-    /// them alive. Call once, before the measured work, and hold the
-    /// guard until after [`export_observability`](Self::export_observability)
-    /// so exported metrics include the captured time series. With none of
-    /// the three flags set this is free and returns an inert guard.
+    /// sampler (`--sample-interval`, implied at 250 ms by `--serve`), the
+    /// span-stack profiler (`--profile`) and the HTTP listener
+    /// (`--serve`) — and returns the guard that keeps them alive. Call
+    /// once, before the measured work, and hold the guard until after
+    /// [`export_observability`](Self::export_observability) so exported
+    /// metrics include the captured time series and profile. With none of
+    /// the flags set this is free and returns an inert guard.
     ///
     /// A `--serve` address that fails to bind aborts the run: silently
     /// continuing without the endpoint the user asked to watch would be
@@ -337,6 +358,9 @@ impl EvalOptions {
         let mut plane = TelemetryPlane::default();
         if let Some(path) = &self.flight_path {
             pm_obs::flight::arm_panic_hook(path.clone());
+        }
+        if self.profile_path.is_some() {
+            plane.profiler = Some(pm_obs::Profiler::start(pm_obs::ProfilerConfig::default()));
         }
         if let Some(ms) = self.sample_interval_ms.or(self.serve.as_ref().map(|_| 250)) {
             plane.sampler = Some(pm_obs::Sampler::start(pm_obs::SamplerConfig {
@@ -384,6 +408,9 @@ impl EvalOptions {
         }
         if let Some(path) = &self.prom_path {
             export("prometheus metrics", path, &pm_obs::prometheus_text());
+        }
+        if let Some(path) = &self.profile_path {
+            export("profile", path, &pm_obs::prof::folded_text());
         }
         if let Some(events) = &self.events {
             if let Err(e) = events.close() {

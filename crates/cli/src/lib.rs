@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod obs_cmd;
+mod obs_prof;
 mod obs_top;
 
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow, TwoStage};
@@ -75,7 +76,7 @@ USAGE:
   pmctl inspect  --fail N[,N..] [network options]
   pmctl sweep    [--failures K] [--jobs N] [--shard i/m] [--max-scenarios N]
                  [--seed N] [--batch N] [--csv DIR] [network options]
-  pmctl obs      report|diff|gate|top ...   (see pmctl obs help)
+  pmctl obs      report|diff|gate|top|flame|critical ...   (see pmctl obs help)
 
 Failed controllers are named by the node they sit at (the paper's
 convention): --fail 13,20 fails the controllers at nodes 13 and 20.
@@ -99,6 +100,10 @@ observability (any command):
                        milliseconds (default 250 when --serve is given)
   --flight FILE        arm the flight recorder: on panic, dump the last
                        spans and counter deltas per thread to FILE
+  --profile FILE       sample the live span stacks while the command runs
+                       and write a folded-stack flamegraph profile to FILE
+                       (render with pmctl obs flame, inferno, flamegraph.pl
+                       or speedscope); adds GET /profile.folded to --serve
 ";
 
 /// Parsed network selection.
@@ -141,6 +146,13 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(path) = take_flag(&mut args, "--flight")?.map(PathBuf::from) {
         pm_obs::flight::arm_panic_hook(path);
     }
+    // The span-stack profiler, also global: --profile paces a sampler
+    // over every instrumented thread's live span stack and the folded
+    // profile is exported with the other artifacts below.
+    let profile_path = take_flag(&mut args, "--profile")?.map(PathBuf::from);
+    let profiler = profile_path
+        .as_ref()
+        .map(|_| pm_obs::Profiler::start(pm_obs::ProfilerConfig::default()));
     // Sampler declared before the server: locals drop in reverse order,
     // so the listener stops serving before the sampler takes its final
     // interval (both are also dropped explicitly below, before export).
@@ -188,9 +200,10 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
         ))),
     };
     // Tear the plane down before exporting: the server stops answering
-    // first, then the sampler folds its final interval into the ring so
-    // the exports below carry the complete time series.
+    // first, then the profiler and the sampler fold their final
+    // snapshots in so the exports below carry the complete picture.
     drop(server);
+    drop(profiler);
     drop(sampler);
     // Telemetry is exported even when the command failed — a trace of a
     // failed run is exactly what one wants to look at.
@@ -208,6 +221,10 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
         pm_obs::write_artifact("prometheus metrics", path, &pm_obs::prometheus_text())
             .map_err(CliError::runtime)?;
         let _ = writeln!(out, "prometheus metrics written to {}", path.display());
+    }
+    if let Some(path) = &profile_path {
+        pm_obs::prof::write_folded(path).map_err(CliError::runtime)?;
+        let _ = writeln!(out, "profile written to {}", path.display());
     }
     result
 }
@@ -1213,6 +1230,31 @@ mod tests {
             m.contains("\"timeseries\""),
             "sampled run must export the timeseries member:\n{m}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_flag_writes_a_folded_profile() {
+        let dir = std::env::temp_dir().join("pmctl_profile_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let folded = dir.join("plan.folded");
+        let text = run_ok_os(&argv(
+            &["plan", "--fail", "13,20"],
+            &[("--profile", &folded)],
+        ));
+        assert!(text.contains("profile written to"), "{text}");
+        // A fast run may finish between pacer ticks, so the stack count
+        // is not asserted — but the artifact exists and every line obeys
+        // the folded grammar `frame(;frame)* COUNT`.
+        let body = std::fs::read_to_string(&folded).unwrap();
+        for line in body.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("stack and count");
+            assert!(
+                !stack.is_empty() && stack.split(';').all(|f| !f.is_empty()),
+                "{line}"
+            );
+            count.parse::<u64>().expect("trailing integer count");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

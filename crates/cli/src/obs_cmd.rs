@@ -35,6 +35,8 @@ USAGE:
                  [--md-out FILE] [--flight FILE]
   pmctl obs top  (--url ADDR | --events FILE) [--interval-ms N]
                  [--frames N] [--ansi|--plain]
+  pmctl obs flame    (PROFILE.folded | --url ADDR) [--top N] [--md]
+  pmctl obs critical TRACE.json [--md]
 
 diff options:
   --max-regress P[%]   gated threshold as % of the baseline (default 10%)
@@ -49,6 +51,12 @@ recorder (the last spans and counter deltas) to FILE.
 
 `top` is a live viewer for a running sweep — see `pmctl obs top` with no
 source for its own usage.
+
+`flame` renders a folded-stack profile (a --profile artifact, or the live
+/profile.folded endpoint of a --serve run) as a hot-path table sorted by
+self samples; `critical` reconstructs the span tree of a --trace artifact
+and reports exclusive self-time per span plus the critical path (the
+longest chain of child spans, with per-worker thread attribution).
 ";
 
 /// Exit code for a breached gate: distinct from runtime errors (1) and
@@ -66,6 +74,8 @@ pub(crate) fn cmd_obs(args: &[OsString], out: &mut dyn Write) -> Result<(), CliE
         "diff" => obs_diff(&mut args, out),
         "gate" => obs_gate(&mut args, out),
         "top" => crate::obs_top::cmd_obs_top(&mut args, out),
+        "flame" => crate::obs_prof::cmd_obs_flame(&mut args, out),
+        "critical" => crate::obs_prof::cmd_obs_critical(&mut args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{OBS_USAGE}");
             Ok(())
@@ -103,8 +113,9 @@ fn parse_diff_options(args: &mut Vec<OsString>) -> Result<DiffOptions, CliError>
     Ok(opts)
 }
 
-/// Takes the next positional argument as a path.
-fn take_path(args: &mut Vec<OsString>, what: &str) -> Result<PathBuf, CliError> {
+/// Takes the next positional argument as a path. Shared with the
+/// profiler subcommands in `obs_prof`.
+pub(crate) fn take_path(args: &mut Vec<OsString>, what: &str) -> Result<PathBuf, CliError> {
     if args.is_empty() {
         return Err(CliError::usage(format!(
             "{what} is required\n\n{OBS_USAGE}"

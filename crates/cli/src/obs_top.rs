@@ -148,14 +148,16 @@ fn parse_top_options(args: &mut Vec<OsString>) -> Result<TopOptions, CliError> {
 }
 
 /// Accepts `host:port`, `http://host:port`, and either with a trailing
-/// path, reducing all of them to `host:port`.
-fn normalize_host(url: &str) -> String {
+/// path, reducing all of them to `host:port`. Shared with
+/// `obs flame --url`.
+pub(crate) fn normalize_host(url: &str) -> String {
     let rest = url.strip_prefix("http://").unwrap_or(url);
     rest.split('/').next().unwrap_or(rest).to_string()
 }
 
 /// A minimal blocking HTTP GET against `host:port`; returns the body.
-fn http_get(host: &str, path: &str) -> Result<String, String> {
+/// Shared with `obs flame --url`.
+pub(crate) fn http_get(host: &str, path: &str) -> Result<String, String> {
     let mut addrs = std::net::ToSocketAddrs::to_socket_addrs(host)
         .map_err(|e| format!("cannot resolve {host}: {e}"))?;
     let addr = addrs
@@ -298,12 +300,18 @@ fn stats_from_events(text: &str) -> FrameStats {
 /// Formats one frame. ANSI mode paints a full screen (cursor home +
 /// clear); plain mode emits a single status line.
 fn render(stats: &FrameStats, elapsed: Duration, ansi: bool) -> String {
-    let eta = match (stats.total.checked_sub(stats.done), stats.cases_per_sec) {
-        (Some(left), rate) if left > 0 && rate > 0.0 => {
-            format!("{:.0}s", left as f64 / rate)
-        }
-        (Some(0), _) => "done".to_string(),
-        _ => "-".to_string(),
+    // A stalled interval (rate 0), a rate poisoned by a zero-length
+    // interval (NaN/inf) or an unknown scenario space all have no ETA:
+    // render "--" rather than leaking NaN or inf into the frame.
+    let rate = if stats.cases_per_sec.is_finite() {
+        stats.cases_per_sec
+    } else {
+        0.0
+    };
+    let eta = match stats.total.checked_sub(stats.done) {
+        Some(0) if stats.total > 0 => "done".to_string(),
+        Some(left) if left > 0 && rate > 0.0 => format!("{:.0}s", left as f64 / rate),
+        _ => "--".to_string(),
     };
     let p95 = match stats.p95_ms {
         Some(ms) => format!("{ms:.1}ms"),
@@ -315,9 +323,8 @@ fn render(stats: &FrameStats, elapsed: Duration, ansi: bool) -> String {
         "?".to_string()
     };
     let mut line = format!(
-        "cases {}/{total}  rate {:.1}/s  p95<= {p95}  live-peak {}  eta {eta}  t {:.0}s",
+        "cases {}/{total}  rate {rate:.1}/s  p95<= {p95}  live-peak {}  eta {eta}  t {:.0}s",
         stats.done,
-        stats.cases_per_sec,
         stats.live_peak,
         elapsed.as_secs_f64()
     );
@@ -457,5 +464,35 @@ mod tests {
         let plain = render(&sparse, Duration::from_secs(0), false);
         assert!(plain.contains("cases 0/?"), "{plain}");
         assert!(plain.contains("p95<= -"), "{plain}");
+    }
+
+    #[test]
+    fn idle_intervals_render_a_dashed_eta_not_nan() {
+        // A live sweep whose most recent interval was all-idle: work
+        // remains but the measured rate is zero, so there is no ETA.
+        let idle = FrameStats {
+            done: 10,
+            total: 41,
+            cases_per_sec: 0.0,
+            ..FrameStats::default()
+        };
+        let line = render(&idle, Duration::from_secs(2), false);
+        assert!(line.contains("eta --"), "{line}");
+        // Rates poisoned by a zero-length interval must not leak NaN or
+        // inf into either the rate or the ETA field.
+        for bad in [f64::NAN, f64::INFINITY] {
+            let poisoned = FrameStats {
+                cases_per_sec: bad,
+                ..idle.clone()
+            };
+            let line = render(&poisoned, Duration::from_secs(2), false);
+            assert!(line.contains("rate 0.0/s"), "{line}");
+            assert!(line.contains("eta --"), "{line}");
+            assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        }
+        // An unknown scenario space has no ETA either (never "done").
+        let sparse = FrameStats::default();
+        let line = render(&sparse, Duration::from_secs(0), false);
+        assert!(line.contains("eta --"), "{line}");
     }
 }

@@ -1,7 +1,7 @@
-//! Golden tests for `pmctl obs diff` / `obs report` / `obs gate`: the
-//! report text, the markdown render, and every exit code (pass, breach,
-//! malformed input, usage error) are pinned against the fixture metrics
-//! files in `tests/fixtures/`.
+//! Golden tests for `pmctl obs diff` / `obs report` / `obs gate` /
+//! `obs flame` / `obs critical`: the report text, the markdown render,
+//! and every exit code (pass, breach, malformed input, usage error) are
+//! pinned against the fixture files in `tests/fixtures/`.
 
 use pm_cli::{run, CliError};
 use std::ffi::OsString;
@@ -160,6 +160,167 @@ fn gate_thresholds_are_configurable() {
     let err = result.expect_err("time metrics gate under --gate-time");
     assert_eq!(err.code, 3);
     assert!(out.contains("BREACH"), "{out}");
+}
+
+#[test]
+fn flame_table_is_pinned() {
+    let path = fixture("profile.folded");
+    let (out, result) = run_obs(&["obs", "flame", &path]);
+    result.expect("flame renders the fixture profile");
+    assert_lines(
+        &out,
+        &format!(
+            "hot paths for {path} (50 samples, 4 stacks)\n\
+             \n\
+             frame           self%    self  total%   total\n\
+             pm.select        50.0      25    50.0      25\n\
+             retro.recover    24.0      12    24.0      12\n\
+             pm.recover       20.0      10    70.0      35\n\
+             sweep.case        6.0       3   100.0      50"
+        ),
+    );
+}
+
+#[test]
+fn flame_markdown_and_top_are_pinned() {
+    let path = fixture("profile.folded");
+    let (out, result) = run_obs(&["obs", "flame", "--md", "--top", "2", &path]);
+    result.expect("flame renders markdown");
+    assert_lines(
+        &out,
+        &format!(
+            "## Hot paths — {path}\n\
+             \n\
+             50 samples over 4 distinct stacks.\n\
+             \n\
+             | frame | self% | self | total% | total |\n\
+             |---|---:|---:|---:|---:|\n\
+             | `pm.select` | 50.0 | 25 | 50.0 | 25 |\n\
+             | `retro.recover` | 24.0 | 12 | 24.0 | 12 |\n\
+             \n\
+             (top 2 of 4 frames)"
+        ),
+    );
+}
+
+#[test]
+fn flame_serves_a_live_profile_over_url() {
+    // An ephemeral server with no profiler attached serves an empty
+    // profile; the command reports that rather than failing.
+    let server = pm_obs::MetricsServer::serve("127.0.0.1:0").expect("ephemeral bind");
+    let host = server.local_addr().to_string();
+    let (out, result) = run_obs(&["obs", "flame", "--url", &host]);
+    result.expect("empty live profile is not an error");
+    assert!(out.contains("profile is empty (no samples)"), "{out}");
+    drop(server);
+}
+
+#[test]
+fn critical_report_is_pinned() {
+    let path = fixture("trace.json");
+    let (out, result) = run_obs(&["obs", "critical", &path]);
+    result.expect("critical analyzes the fixture trace");
+    assert_lines(
+        &out,
+        &format!(
+            "span-tree analysis for {path}: 6 spans on 2 thread(s)\n\
+             \n\
+             self time by span (exclusive = inclusive - direct children):\n\
+             \x20 name          count    total_ms     self_ms   self%\n\
+             \x20 pm.recover        2       5.800       4.300    47.8\n\
+             \x20 sweep.case        2       8.500       2.700    30.0\n\
+             \x20 pm.select         1       1.500       1.500    16.7\n\
+             \x20 bench.report      1       0.500       0.500     5.6\n\
+             \n\
+             critical path (longest chain of child spans):\n\
+             \x20 sweep.case  6.000 ms  tid 2 (sweep-worker-0)  label=case (13,20)\n\
+             \x20   pm.recover  4.000 ms  tid 2 (sweep-worker-0)\n\
+             \x20     pm.select  1.500 ms  tid 2 (sweep-worker-0)"
+        ),
+    );
+}
+
+#[test]
+fn critical_markdown_is_pinned() {
+    let path = fixture("trace.json");
+    let (out, result) = run_obs(&["obs", "critical", "--md", &path]);
+    result.expect("critical renders markdown");
+    assert_lines(
+        &out,
+        &format!(
+            "## Span-tree analysis — {path}\n\
+             \n\
+             6 spans on 2 thread(s).\n\
+             \n\
+             | span | count | total_ms | self_ms | self% |\n\
+             |---|---:|---:|---:|---:|\n\
+             | `pm.recover` | 2 | 5.800 | 4.300 | 47.8 |\n\
+             | `sweep.case` | 2 | 8.500 | 2.700 | 30.0 |\n\
+             | `pm.select` | 1 | 1.500 | 1.500 | 16.7 |\n\
+             | `bench.report` | 1 | 0.500 | 0.500 | 5.6 |\n\
+             \n\
+             Critical path (longest chain of child spans):\n\
+             \n\
+             1. `sweep.case` — 6.000 ms on tid 2 (sweep-worker-0) — case (13,20)\n\
+             2. `pm.recover` — 4.000 ms on tid 2 (sweep-worker-0)\n\
+             3. `pm.select` — 1.500 ms on tid 2 (sweep-worker-0)"
+        ),
+    );
+}
+
+#[test]
+fn flame_and_critical_reject_bad_inputs() {
+    // Malformed folded text / trace JSON are runtime errors naming the
+    // file; bad flags are usage errors.
+    let dir = std::env::temp_dir().join(format!("pm-prof-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad_folded = dir.join("bad.folded");
+    std::fs::write(&bad_folded, "frame-without-a-count\n").unwrap();
+    let (_, result) = run_obs(&["obs", "flame", bad_folded.to_str().unwrap()]);
+    let err = result.expect_err("malformed folded file");
+    assert_eq!(err.code, 1, "{}", err.message);
+    assert!(err.message.contains("bad folded line"), "{}", err.message);
+
+    let (_, result) = run_obs(&["obs", "critical", &fixture("base.metrics.json")]);
+    let err = result.expect_err("metrics JSON is not a trace");
+    assert_eq!(err.code, 1, "{}", err.message);
+    assert!(err.message.contains("traceEvents"), "{}", err.message);
+
+    for args in [
+        vec!["obs", "flame"],
+        vec!["obs", "flame", "--top", "0", "x.folded"],
+        vec!["obs", "critical"],
+    ] {
+        let (_, result) = run_obs(&args);
+        let err = result.expect_err("usage error");
+        assert_eq!(err.code, 2, "{args:?}: {}", err.message);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flame_self_time_reconciles_with_folded_totals() {
+    // The sum of per-frame self samples must equal the total sample
+    // count: every sample has exactly one leaf frame.
+    let body = std::fs::read_to_string(fixture("profile.folded")).unwrap();
+    let total: u64 = body
+        .lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(_, n)| n.parse::<u64>().unwrap())
+        .sum();
+    let (out, result) = run_obs(&["obs", "flame", &fixture("profile.folded")]);
+    result.expect("flame renders");
+    let self_sum: u64 = out
+        .lines()
+        .skip(3) // header lines
+        .filter_map(|l| {
+            let mut cols = l.split_whitespace();
+            let _name = cols.next()?;
+            let _pct = cols.next()?;
+            cols.next()?.parse::<u64>().ok()
+        })
+        .sum();
+    assert_eq!(self_sum, total, "{out}");
 }
 
 #[test]

@@ -258,6 +258,45 @@ mod tests {
     }
 
     #[test]
+    fn default_rings_wrap_to_exactly_the_last_events_in_order() {
+        let _g = crate::tests::guard();
+        enable();
+        reset();
+        arm(FlightConfig::default()); // 64 spans/thread, 256 counter events
+        for i in 0..300u64 {
+            let _s = span_labeled("flight.wrap", format!("case {i}"));
+            count("flight.wrap_work", 1);
+        }
+        let text = dump();
+        // Exactly the last 64 spans of this thread survive, in push order:
+        // cases 236..=299.
+        let span_labels: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("span flight.wrap "))
+            .map(|l| {
+                l.rsplit_once("label=case ")
+                    .and_then(|(_, n)| n.parse().ok())
+                    .unwrap_or_else(|| panic!("unparsable span line: {l}"))
+            })
+            .collect();
+        assert_eq!(span_labels, (236..300).collect::<Vec<u64>>(), "{text}");
+        // Exactly the last 256 counter deltas survive, in order: the
+        // running totals 45..=300.
+        assert!(text.contains("== counter events: 256 =="), "{text}");
+        let totals: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("count ") && l.contains(" flight.wrap_work "))
+            .map(|l| {
+                l.rsplit_once("= ")
+                    .and_then(|(_, n)| n.parse().ok())
+                    .unwrap_or_else(|| panic!("unparsable count line: {l}"))
+            })
+            .collect();
+        assert_eq!(totals, (45..=300).collect::<Vec<u64>>(), "{text}");
+        disarm_for_tests();
+    }
+
+    #[test]
     fn unarmed_recorder_stays_out_of_the_way() {
         let _g = crate::tests::guard();
         enable();

@@ -49,6 +49,7 @@ pub mod baseline;
 pub mod diff;
 pub mod flight;
 pub mod json;
+pub mod prof;
 pub mod serve;
 pub mod timeseries;
 
@@ -58,6 +59,7 @@ pub use export::{
     artifact_error, chrome_trace_json, escape_label_value, metrics_json, prometheus_from_snapshot,
     prometheus_text, write_artifact, write_chrome_trace, write_metrics, write_prometheus,
 };
+pub use prof::{Profiler, ProfilerConfig};
 pub use serve::MetricsServer;
 pub use timeseries::{Sampler, SamplerConfig};
 
@@ -295,6 +297,10 @@ struct SpanData {
     label: Option<String>,
     tid: u64,
     start_ns: u64,
+    /// Whether this span pushed its name onto the live profiler stack —
+    /// remembered here so the pop stays balanced even if the profiler
+    /// disarms (or a new one arms) while the span is open.
+    pushed: bool,
 }
 
 impl Drop for SpanGuard {
@@ -302,6 +308,9 @@ impl Drop for SpanGuard {
         if let Some(data) = self.data.take() {
             let rec = recorder();
             let end = rec.now_ns();
+            if data.pushed {
+                prof::pop_frame(data.name);
+            }
             let dur_ns = end.saturating_sub(data.start_ns);
             if flight::armed() {
                 flight::record_span(data.name, &data.label, data.tid, data.start_ns, dur_ns);
@@ -338,12 +347,16 @@ pub fn span_labeled(name: &'static str, label: impl Into<String>) -> SpanGuard {
 
 fn span_slow(name: &'static str, label: Option<String>) -> SpanGuard {
     let rec = recorder();
+    // While no profiler runs this is one relaxed load, matching the
+    // recorder's own off-by-default cost contract.
+    let pushed = prof::profiling() && prof::push_frame(name);
     SpanGuard {
         data: Some(SpanData {
             name,
             label,
             tid: thread_id(),
             start_ns: rec.now_ns(),
+            pushed,
         }),
     }
 }

@@ -18,10 +18,13 @@
 //! | `GET /metrics`      | [`crate::prometheus_text`] (0.0.4)       |
 //! | `GET /metrics.json` | [`crate::metrics_json`] (schema v1)      |
 //! | `GET /timeseries.json` | [`crate::timeseries::timeseries_json`] |
+//! | `GET /profile.folded`  | [`crate::prof::folded_text`]           |
 //!
-//! Everything else is `404`; non-GET methods are `405`. Serving reads the
-//! recorder through the same snapshot path as the file exporters, so a
-//! scrape can never perturb recorded results.
+//! Everything else is `404`. `HEAD` is answered like `GET` with the body
+//! suppressed (same status, `Content-Type` and `Content-Length`); any
+//! other method is `405 Method Not Allowed` with an `Allow: GET` header.
+//! Serving reads the recorder through the same snapshot path as the file
+//! exporters, so a scrape can never perturb recorded results.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -123,8 +126,8 @@ fn handle_connection(stream: TcpStream) {
         }
     }
     let mut stream = reader.into_inner();
-    let (status, content_type, body) = route(&request_line);
-    let _ = write_response(&mut stream, status, content_type, &body);
+    let reply = route(&request_line);
+    let _ = write_response(&mut stream, &reply);
     if crate::enabled() {
         crate::count("obs.serve.requests", 1);
     }
@@ -149,66 +152,97 @@ fn read_crlf_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
     String::from_utf8(line).ok()
 }
 
-/// Maps a request line onto `(status line, content type, body)`.
-fn route(request_line: &str) -> (&'static str, &'static str, String) {
+/// One routed response. `head_only` keeps the `Content-Length` of the
+/// body the matching `GET` would carry while suppressing the body itself;
+/// `allow` adds the `Allow` header a `405` must name its methods in.
+struct Reply {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+    head_only: bool,
+    allow: bool,
+}
+
+/// Maps a request line onto the response to write.
+fn route(request_line: &str) -> Reply {
+    let reply = |status, content_type, body: String| Reply {
+        status,
+        content_type,
+        body,
+        head_only: false,
+        allow: false,
+    };
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") || parts.next().is_some() {
-        return (
+        return reply(
             "400 Bad Request",
             "text/plain; charset=utf-8",
             "bad request\n".to_string(),
         );
     }
-    if method != "GET" {
-        return (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        );
+    // HEAD is GET without the body; anything else names the one method
+    // family we serve in an Allow header, per the 405 contract.
+    let head_only = method == "HEAD";
+    if method != "GET" && !head_only {
+        return Reply {
+            allow: true,
+            ..reply(
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "method not allowed\n".to_string(),
+            )
+        };
     }
     // Scrapers commonly append query strings (`/metrics?format=...`).
     let path = path.split('?').next().unwrap_or(path);
-    match path {
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        "/metrics" => (
+    let mut routed = match path {
+        "/healthz" => reply("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/metrics" => reply(
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
             crate::prometheus_text(),
         ),
-        "/metrics.json" => (
+        "/metrics.json" => reply(
             "200 OK",
             "application/json; charset=utf-8",
             crate::metrics_json(),
         ),
-        "/timeseries.json" => (
+        "/timeseries.json" => reply(
             "200 OK",
             "application/json; charset=utf-8",
             crate::timeseries::timeseries_json(),
         ),
-        _ => (
+        "/profile.folded" => reply(
+            "200 OK",
+            "text/plain; charset=utf-8",
+            crate::prof::folded_text(),
+        ),
+        _ => reply(
             "404 Not Found",
             "text/plain; charset=utf-8",
             "not found\n".to_string(),
         ),
-    }
+    };
+    routed.head_only = head_only;
+    routed
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
+fn write_response(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    let allow = if reply.allow { "Allow: GET\r\n" } else { "" };
     let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\n\
+         Content-Length: {}\r\n{allow}Connection: close\r\n\r\n",
+        reply.status,
+        reply.content_type,
+        reply.body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if !reply.head_only {
+        stream.write_all(reply.body.as_bytes())?;
+    }
     stream.flush()
 }
 
@@ -268,6 +302,18 @@ mod tests {
         assert!(body.contains("\"obs.serve.requests\""), "{body}");
     }
 
+    /// Sends a raw request and returns the full response text.
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write!(stream, "{request}").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        raw
+    }
+
     #[test]
     fn rejects_non_get_and_garbage() {
         let _g = crate::tests::guard();
@@ -275,17 +321,62 @@ mod tests {
         let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
         let addr = server.local_addr();
 
-        let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).unwrap();
-        assert!(raw.starts_with("HTTP/1.1 405 "), "{raw}");
+        // Non-GET/HEAD verbs get a 405 that names the allowed method.
+        for verb in ["POST", "PUT", "DELETE"] {
+            let raw = raw_request(
+                addr,
+                &format!("{verb} /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            );
+            assert!(raw.starts_with("HTTP/1.1 405 "), "{raw}");
+            assert!(raw.contains("\r\nAllow: GET\r\n"), "{raw}");
+        }
+        // Allowed requests never carry the Allow header.
+        let raw = raw_request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(!raw.contains("Allow:"), "{raw}");
 
-        let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GARBAGE\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).unwrap();
+        let raw = raw_request(addr, "GARBAGE\r\n\r\n");
         assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+    }
+
+    #[test]
+    fn head_matches_get_with_an_empty_body() {
+        let _g = crate::tests::guard();
+        crate::enable();
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        // Same status and Content-Length as the GET, no body bytes.
+        let raw = raw_request(addr, "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{raw}");
+        assert!(head.contains("\r\nContent-Length: 3"), "{raw}");
+        assert_eq!(body, "", "HEAD must not carry a body");
+
+        // Unknown paths keep their 404 under HEAD too.
+        let raw = raw_request(addr, "HEAD /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 404 "), "{raw}");
+        assert!(raw.ends_with("\r\n\r\n"), "no body: {raw}");
+    }
+
+    #[test]
+    fn serves_the_live_folded_profile() {
+        let _g = crate::tests::guard();
+        crate::enable();
+        crate::reset();
+        let profiler = crate::prof::Profiler::start(crate::prof::ProfilerConfig {
+            interval: Duration::from_secs(3600),
+        });
+        {
+            let _s = crate::span("serve.profiled");
+            crate::prof::sample_now();
+        }
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind");
+        let (status, body) = http_get(server.local_addr(), "/profile.folded");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "serve.profiled 1\n");
+        drop(server);
+        drop(profiler);
+        crate::prof::clear_active();
     }
 
     #[test]
