@@ -1,0 +1,431 @@
+//! Seeded closed-loop load generator for `pmd` (the plan-serving daemon).
+//!
+//! Replays a deterministic stream of failure-set `POST /plan` requests
+//! against a running `pmd` — or, with no `--addr`, against a self-hosted
+//! in-process [`PmdService`] on the paper's ATT topology — over persistent
+//! keep-alive connections, one per client thread. Measures per-request
+//! wall latency and writes `BENCH_serve.json` (schema version 1) with
+//! p50/p90/p99/max latency and sustained plans/sec.
+//!
+//! Run: `cargo run --release -p pm-bench --bin loadgen -- [--addr HOST:PORT]
+//! [--requests N] [--threads T] [--rate R] [--seed S] [--horizon K]
+//! [--beyond FRAC] [--out PATH]`
+//!
+//! `--beyond FRAC` sends that fraction of requests with `horizon + 1`
+//! failures, exercising the daemon's on-demand solve fallback; the rest
+//! stay within the precomputed store. `--rate R` paces the *total*
+//! request rate (requests per second, split across threads); 0 means
+//! open throttle.
+
+use pm_bench::{Generation, PmdConfig, PmdService};
+use pm_sdwan::SdWanBuilder;
+use pm_topo::rng::DetRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    requests: u64,
+    threads: usize,
+    rate: f64,
+    seed: u64,
+    horizon: usize,
+    beyond: f64,
+    workers: usize,
+    jobs: usize,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--requests N] [--threads T] [--rate R/S] \
+         [--seed S] [--horizon K] [--beyond FRAC] [--workers W] [--jobs J] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        requests: 20_000,
+        threads: 4,
+        rate: 0.0,
+        seed: 42,
+        horizon: 2,
+        beyond: 0.0,
+        workers: 8,
+        jobs: 0,
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")),
+            "--requests" => args.requests = parse_num(&flag, &val("--requests")),
+            "--threads" => args.threads = parse_num::<usize>(&flag, &val("--threads")).max(1),
+            "--rate" => args.rate = parse_num(&flag, &val("--rate")),
+            "--seed" => args.seed = parse_num(&flag, &val("--seed")),
+            "--horizon" => args.horizon = parse_num::<usize>(&flag, &val("--horizon")).max(1),
+            "--beyond" => args.beyond = parse_num::<f64>(&flag, &val("--beyond")).clamp(0.0, 1.0),
+            "--workers" => args.workers = parse_num::<usize>(&flag, &val("--workers")).max(1),
+            "--jobs" => args.jobs = parse_num(&flag, &val("--jobs")),
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("loadgen: {flag} got {raw:?}, expected a number");
+        usage()
+    })
+}
+
+/// A distinct ascending controller-index set of size `f` out of `n`,
+/// drawn with a partial Fisher–Yates over the index range.
+fn draw_set(rng: &mut DetRng, n: usize, f: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..f {
+        let j = i + (rng.next_u64() as usize) % (n - i);
+        pool.swap(i, j);
+    }
+    let mut set: Vec<usize> = pool[..f].to_vec();
+    set.sort_unstable();
+    set
+}
+
+/// One request over an open connection; returns the latency and whether
+/// the daemon answered from the store (`true`) or solved on demand.
+fn one_request(conn: &mut BufReader<TcpStream>, body: &str) -> std::io::Result<(Duration, bool)> {
+    let req = format!(
+        "POST /plan HTTP/1.1\r\nHost: pmd\r\nConnection: keep-alive\r\n\
+         Content-Length: {}\r\nContent-Type: application/json\r\n\r\n{body}",
+        body.len()
+    );
+    let t0 = Instant::now();
+    conn.get_mut().write_all(req.as_bytes())?;
+    let mut line = String::new();
+    conn.read_line(&mut line)?;
+    if !line.starts_with("HTTP/1.1 200") {
+        // Drain the rest of this response so the connection stays usable,
+        // then report the failure.
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            conn.read_line(&mut h)?;
+            if h == "\r\n" || h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+        let mut sink = vec![0u8; content_length];
+        conn.read_exact(&mut sink)?;
+        return Err(std::io::Error::other(line.trim().to_string()));
+    }
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        conn.read_line(&mut line)?;
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut resp = vec![0u8; content_length];
+    conn.read_exact(&mut resp)?;
+    let elapsed = t0.elapsed();
+    let from_store = std::str::from_utf8(&resp)
+        .map(|s| s.contains("\"source\": \"store\""))
+        .unwrap_or(false);
+    Ok((elapsed, from_store))
+}
+
+struct ThreadOutcome {
+    latencies_ns: Vec<u64>,
+    store_hits: u64,
+    solved: u64,
+    errors: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_thread(
+    addr: String,
+    requests: u64,
+    controllers: usize,
+    horizon: usize,
+    beyond: f64,
+    per_thread_rate: f64,
+    seed: u64,
+    issued: &AtomicU64,
+    total: u64,
+) -> ThreadOutcome {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut out = ThreadOutcome {
+        latencies_ns: Vec::with_capacity(requests as usize),
+        store_hits: 0,
+        solved: 0,
+        errors: 0,
+    };
+    let mut conn: Option<BufReader<TcpStream>> = None;
+    let pace = if per_thread_rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / per_thread_rate))
+    } else {
+        None
+    };
+    let start = Instant::now();
+    let mut sent = 0u64;
+    while issued.fetch_add(1, Ordering::Relaxed) < total {
+        if let Some(step) = pace {
+            let due = start + step * u32::try_from(sent).unwrap_or(u32::MAX);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        sent += 1;
+        let f = if beyond > 0.0 && rng.unit_f64() < beyond {
+            (horizon + 1).min(controllers - 1)
+        } else {
+            1 + (rng.next_u64() as usize) % horizon
+        };
+        let set = draw_set(&mut rng, controllers, f);
+        let ids: Vec<String> = set.iter().map(usize::to_string).collect();
+        let body = format!("{{\"controllers\": [{}]}}", ids.join(", "));
+        let mut stream = match conn.take() {
+            Some(c) => c,
+            None => match TcpStream::connect(&addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+                    BufReader::new(s)
+                }
+                Err(_) => {
+                    out.errors += 1;
+                    continue;
+                }
+            },
+        };
+        match one_request(&mut stream, &body) {
+            Ok((latency, from_store)) => {
+                out.latencies_ns
+                    .push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                if from_store {
+                    out.store_hits += 1;
+                } else {
+                    out.solved += 1;
+                }
+                conn = Some(stream); // keep the socket warm
+            }
+            Err(_) => out.errors += 1, // drop the socket; reconnect next turn
+        }
+    }
+    out
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Self-host unless --addr points at a running daemon.
+    let hosted: Option<PmdService> = if args.addr.is_none() {
+        let cfg = PmdConfig {
+            horizon: args.horizon,
+            jobs: if args.jobs == 0 {
+                PmdConfig::default().jobs
+            } else {
+                args.jobs
+            },
+            workers: args.workers,
+            ..Default::default()
+        };
+        eprintln!(
+            "loadgen: self-hosting pmd (ATT paper topology, horizon {}, {} HTTP workers)",
+            cfg.horizon, cfg.workers
+        );
+        let source = Box::new(move |id| {
+            let net = SdWanBuilder::att_paper_setup()
+                .build()
+                .map_err(|e| e.to_string())?;
+            Ok(Generation::build(id, net, &cfg))
+        });
+        match PmdService::start("127.0.0.1:0", source, cfg) {
+            Ok(svc) => Some(svc),
+            Err(e) => {
+                eprintln!("loadgen: could not self-host pmd: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match (&hosted, &args.addr) {
+        (Some(svc), _) => svc.local_addr().to_string(),
+        (None, Some(a)) => a.clone(),
+        (None, None) => unreachable!(),
+    };
+
+    // Shape facts come from the hosted store, or the daemon's status.
+    let (controllers, horizon, plans) = match &hosted {
+        Some(svc) => {
+            let generation = svc.generation();
+            let store = generation.store();
+            (store.controllers(), store.horizon(), store.len())
+        }
+        None => probe_status(&addr).unwrap_or_else(|e| {
+            eprintln!("loadgen: {addr} did not answer GET /status.json: {e}");
+            std::process::exit(1);
+        }),
+    };
+    eprintln!(
+        "loadgen: target {addr} — {controllers} controllers, {plans} stored plans (f <= {horizon})"
+    );
+
+    let per_thread_rate = if args.rate > 0.0 {
+        args.rate / args.threads as f64
+    } else {
+        0.0
+    };
+    let issued = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
+        let issued = &issued;
+        let handles: Vec<_> = (0..args.threads)
+            .map(|t| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    client_thread(
+                        addr,
+                        args.requests.div_ceil(args.threads as u64),
+                        controllers,
+                        horizon,
+                        args.beyond,
+                        per_thread_rate,
+                        args.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        issued,
+                        args.requests,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut store_hits, mut solved, mut errors) = (0u64, 0u64, 0u64);
+    for o in outcomes {
+        latencies.extend_from_slice(&o.latencies_ns);
+        store_hits += o.store_hits;
+        solved += o.solved;
+        errors += o.errors;
+    }
+    latencies.sort_unstable();
+    let ok = latencies.len() as u64;
+    let plans_per_sec = ok as f64 / wall.as_secs_f64().max(1e-9);
+    let us = |ns: u64| ns as f64 / 1e3;
+    let p50 = percentile(&latencies, 0.50);
+    let p90 = percentile(&latencies, 0.90);
+    let p99 = percentile(&latencies, 0.99);
+    let max = latencies.last().copied().unwrap_or(0);
+
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve\",\n  \"target\": \"{}\",\n  \
+         \"self_hosted\": {},\n  \"requests\": {},\n  \"ok\": {ok},\n  \"errors\": {errors},\n  \
+         \"threads\": {},\n  \"rate_limit\": {},\n  \"seed\": {},\n  \"beyond_fraction\": {},\n  \
+         \"duration_s\": {:.6},\n  \"plans_per_sec\": {plans_per_sec:.1},\n  \
+         \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"max\": {:.1}}},\n  \
+         \"served\": {{\"store\": {store_hits}, \"solved\": {solved}}},\n  \
+         \"store\": {{\"plans\": {plans}, \"horizon\": {horizon}, \"controllers\": {controllers}}}\n}}\n",
+        pm_obs::json::escape(&addr),
+        hosted.is_some(),
+        args.requests,
+        args.threads,
+        args.rate,
+        args.seed,
+        args.beyond,
+        wall.as_secs_f64(),
+        us(p50),
+        us(p90),
+        us(p99),
+        us(max),
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("loadgen: could not write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+
+    println!(
+        "serve bench: {ok} ok / {errors} err over {:.3}s — {plans_per_sec:.0} plans/sec",
+        wall.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+        us(p50),
+        us(p90),
+        us(p99),
+        us(max)
+    );
+    println!(
+        "served: {store_hits} from store, {solved} solved on demand -> {}",
+        args.out.display()
+    );
+}
+
+/// Asks a remote daemon for its store shape via `GET /status.json`.
+fn probe_status(addr: &str) -> Result<(usize, usize, u64), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /status.json HTTP/1.1\r\nHost: pmd\r\nConnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or("malformed response")?;
+    let v = pm_obs::json::parse(body).map_err(|e| format!("bad status body: {e}"))?;
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(pm_obs::json::Value::as_u64)
+            .ok_or_else(|| format!("status.json lacks {k}"))
+    };
+    Ok((
+        field("controllers")? as usize,
+        field("horizon")? as usize,
+        field("plans")?,
+    ))
+}

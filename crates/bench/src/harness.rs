@@ -503,7 +503,7 @@ pub fn run_case(
 #[derive(Debug, Default)]
 pub(crate) struct AlgoWorkspace {
     /// The PM heuristic's bitmap/accumulator buffers.
-    pm: PmWorkspace,
+    pub(crate) pm: PmWorkspace,
 }
 
 /// Times and validates each algorithm on an already-built instance; shared

@@ -22,6 +22,8 @@ pub mod events;
 pub mod figures;
 pub mod harness;
 pub mod par;
+pub mod plan_store;
+pub mod pmd;
 pub mod report;
 pub mod scenario_space;
 pub mod sweep;
@@ -30,7 +32,11 @@ pub mod wan;
 
 pub use events::EventLog;
 pub use harness::{AlgoRun, CaseResult, EvalOptions, TelemetryPlane};
-pub use par::{current_worker, par_map, stream_indexed, timing_stats, SweepEngine, TimingStats};
+pub use par::{
+    current_worker, par_map, stream_indexed, timing_stats, SolvedPlan, SweepEngine, TimingStats,
+};
+pub use plan_store::{PlanStore, StoredPlan};
+pub use pmd::{Generation, PmdConfig, PmdService};
 pub use scenario_space::{binomial, ScenarioSelection, ScenarioSpace};
 pub use sweep::combinations;
 pub use timelines::{timeline_rows, TimelineRunInfo, TimelineSelection, TIMELINE_CASE_HEADERS};

@@ -21,8 +21,11 @@
 
 use crate::harness::{case_label, run_algorithms, AlgoWorkspace, CaseResult, EvalOptions};
 use crate::scenario_space::{ScenarioSelection, ScenarioSpace};
-use pm_core::FmssmInstance;
-use pm_sdwan::{ControllerId, FailureScenario, NetCache, Programmability, SdWan, SdwanError};
+use pm_core::{FmssmInstance, Pm, RecoveryAlgorithm};
+use pm_sdwan::{
+    ControllerId, FailureScenario, NetCache, PlanMetrics, Programmability, RecoveryPlan, SdWan,
+    SdwanError,
+};
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -352,6 +355,59 @@ impl<'net> SweepEngine<'net> {
         }
     }
 
+    /// Solves one failure case with PM alone and returns the plan itself
+    /// — the lookup side of the `pmd` plan store compares against exactly
+    /// this. Byte-identical to the PM run inside
+    /// [`SweepEngine::run_case`]: same cached instance construction, same
+    /// warm-workspace entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case is invalid or PM produces an invalid plan —
+    /// both indicate bugs, not data errors.
+    pub fn solve_plan(&self, failed: &[ControllerId]) -> SolvedPlan {
+        self.solve_plan_in(failed, &mut DeltaState::default())
+    }
+
+    /// [`SweepEngine::solve_plan`] against a worker's carried delta state,
+    /// mirroring [`SweepEngine::run_case`]'s `run_case_in`.
+    fn solve_plan_in(&self, failed: &[ControllerId], state: &mut DeltaState<'net>) -> SolvedPlan {
+        let label = case_label(self.net, failed);
+        let _span = pm_obs::span_labeled("store.solve", label.clone());
+        self.advance_scenario(failed, &mut state.scenario);
+        let DeltaState { scenario, ws } = state;
+        let scenario = scenario.as_ref().expect("scenario just advanced");
+        let prog = self.cache.programmability();
+        let inst = FmssmInstance::with_cache(scenario, prog, &self.cache);
+        let pm = Pm::new();
+        let t0 = std::time::Instant::now();
+        let plan = pm
+            .recover_in(&inst, &mut ws.pm)
+            .expect("PM always produces a plan");
+        let elapsed = t0.elapsed();
+        plan.validate(scenario, prog, pm.is_flow_level())
+            .expect("plan must be valid");
+        let metrics = PlanMetrics::compute(scenario, prog, &plan, pm.middle_layer_ms());
+        SolvedPlan {
+            failed: failed.to_vec(),
+            label,
+            plan,
+            metrics,
+            elapsed,
+        }
+    }
+
+    /// Solves every scenario of `sel` with PM, streaming positions
+    /// through the worker pool on the delta/warm-start path — the `pmd`
+    /// plan-store build. The whole selection is solved (shards do not
+    /// apply: a plan store answers any rank); results come back in
+    /// ascending position order, byte-identical at any job count.
+    pub fn solve_selection(&self, sel: &ScenarioSelection) -> Vec<SolvedPlan> {
+        self.stream_cases(sel, 0..sel.len(), |failed, state| {
+            self.solve_plan_in(failed, state)
+        })
+    }
+
     /// Leaves the scenario for `failed` in `slot`, patching the previous
     /// scenario in place when one is carried and the incremental path is
     /// on. Consecutive colex positions usually differ in one controller;
@@ -446,36 +502,55 @@ impl<'net> SweepEngine<'net> {
 
     fn run_stream(&self, sel: &ScenarioSelection, range: Range<u64>) -> Vec<CaseResult> {
         let total = usize::try_from(range.end - range.start).expect("shard result set fits memory");
-        let obs = pm_obs::enabled();
-        if obs {
+        if pm_obs::enabled() {
             pm_obs::count_max("sweep.scenario.space_size", sel.space().count());
             pm_obs::count_max("sweep.scenario.selected", sel.len());
             if sel.is_sampled() {
                 pm_obs::count("sweep.scenario.sampled_sweeps", 1);
             }
         }
+        if let Some(events) = &self.opts.events {
+            events.sweep_start(total, self.opts.jobs.clamp(1, total.max(1)));
+        }
+        let out = self.stream_cases(sel, range, |failed, state| match &self.opts.events {
+            None => self.run_case_in(failed, state),
+            Some(events) => {
+                let label = case_label(self.net, failed);
+                let token = events.case_start(&label);
+                let result = self.run_case_in(failed, state);
+                events.case_finish(token, &label);
+                result
+            }
+        });
+        if let Some(events) = &self.opts.events {
+            events.sweep_finish();
+        }
+        out
+    }
+
+    /// The streaming batch-claim dispatch shared by the sweep
+    /// ([`SweepEngine::sweep_selection`]) and the PM-only store build
+    /// ([`SweepEngine::solve_selection`]): positions of `range` are
+    /// materialized on demand and `f` runs against a per-worker
+    /// [`DeltaState`], reset per case when the incremental path is off.
+    /// Results come back in position order at any job count.
+    fn stream_cases<R, F>(&self, sel: &ScenarioSelection, range: Range<u64>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&[ControllerId], &mut DeltaState<'net>) -> R + Sync,
+    {
+        let total = usize::try_from(range.end - range.start).expect("result set fits memory");
+        let obs = pm_obs::enabled();
         let jobs = self.opts.jobs.clamp(1, total.max(1));
         let batch = self.opts.batch.max(1);
-        if let Some(events) = &self.opts.events {
-            events.sweep_start(total, jobs);
-        }
-        let run_one = |failed: &[ControllerId], state: &mut DeltaState<'net>| -> CaseResult {
+        let run_one = |failed: &[ControllerId], state: &mut DeltaState<'net>| -> R {
             if !self.opts.incremental {
                 // Cold recompute: nothing survives between cases.
                 *state = DeltaState::default();
             }
-            match &self.opts.events {
-                None => self.run_case_in(failed, state),
-                Some(events) => {
-                    let label = case_label(self.net, failed);
-                    let token = events.case_start(&label);
-                    let result = self.run_case_in(failed, state);
-                    events.case_finish(token, &label);
-                    result
-                }
-            }
+            f(failed, state)
         };
-        let out = if jobs <= 1 {
+        if jobs <= 1 {
             // Serial path: one scenario buffer, reused across positions,
             // and one delta state threaded through the whole shard.
             let mut buf = Vec::new();
@@ -492,8 +567,7 @@ impl<'net> SweepEngine<'net> {
         } else {
             let next = AtomicU64::new(0);
             let live = AtomicUsize::new(0);
-            let slots: Mutex<Vec<Option<CaseResult>>> =
-                Mutex::new((0..total).map(|_| None).collect());
+            let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..total).map(|_| None).collect());
             std::thread::scope(|scope| {
                 for w in 0..jobs {
                     let (next, live, slots, run_one) = (&next, &live, &slots, &run_one);
@@ -558,12 +632,24 @@ impl<'net> SweepEngine<'net> {
                 .into_iter()
                 .map(|r| r.expect("every slot filled"))
                 .collect()
-        };
-        if let Some(events) = &self.opts.events {
-            events.sweep_finish();
         }
-        out
     }
+}
+
+/// One PM-solved failure case: the plan itself plus its metrics — the
+/// unit [`crate::PlanStore`] holds and `pmd` serves.
+#[derive(Debug, Clone)]
+pub struct SolvedPlan {
+    /// The failed controllers, ascending.
+    pub failed: Vec<ControllerId>,
+    /// The paper-style case label, e.g. `(13,20)`.
+    pub label: String,
+    /// PM's recovery plan.
+    pub plan: RecoveryPlan,
+    /// All evaluation metrics of the plan.
+    pub metrics: PlanMetrics,
+    /// Wall-clock time of the recovery computation.
+    pub elapsed: Duration,
 }
 
 /// Wall-clock statistics of one algorithm across a sweep's cases.

@@ -21,6 +21,7 @@
 mod obs_cmd;
 mod obs_prof;
 mod obs_top;
+mod serve_cmd;
 
 use pm_core::{FmssmInstance, Optimal, Pg, Pm, RecoveryAlgorithm, RetroFlow, TwoStage};
 use pm_sdwan::{
@@ -76,6 +77,10 @@ USAGE:
   pmctl inspect  --fail N[,N..] [network options]
   pmctl sweep    [--failures K] [--jobs N] [--shard i/m] [--max-scenarios N]
                  [--seed N] [--batch N] [--csv DIR] [network options]
+  pmctl serve    [--addr HOST:PORT] [--horizon K] [--jobs N] [--workers W]
+                 [--port-file PATH] [network options]
+                 run pmd: precompute all f <= K plans, serve POST /plan,
+                 GET /plans/<rank>, POST /reload, POST /shutdown
   pmctl obs      report|diff|gate|top|flame|critical ...   (see pmctl obs help)
 
 Failed controllers are named by the node they sit at (the paper's
@@ -190,6 +195,7 @@ pub fn run(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
         "relieve" => cmd_relieve(&rest, out),
         "inspect" => cmd_inspect(&rest, out),
         "sweep" => cmd_sweep(&rest, out),
+        "serve" => serve_cmd::cmd_serve(&rest, out),
         "obs" => obs_cmd::cmd_obs(&rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");

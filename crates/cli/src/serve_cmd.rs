@@ -1,0 +1,109 @@
+//! `pmctl serve` — run `pmd`, the resident plan-serving daemon.
+//!
+//! Builds the selected network (paper ATT setup by default, or
+//! `--graphml`), precomputes every `f ≤ --horizon` recovery plan into a
+//! [`pm_bench::PlanStore`], and serves plan lookups over HTTP until a
+//! `POST /shutdown` arrives. `POST /reload` re-reads the topology source
+//! (the GraphML file, for `--graphml` runs) and swaps the serving
+//! generation without dropping in-flight requests.
+//!
+//! With `--port-file PATH` the bound address is written to `PATH` once
+//! the listener is up — how scripts and CI discover an ephemeral
+//! `--addr 127.0.0.1:0` port.
+
+use crate::{
+    build_network, ensure_consumed, parse_network, take_flag, take_str_flag, CliError, NetworkSpec,
+};
+use pm_bench::{Generation, PmdConfig, PmdService};
+use std::ffi::OsString;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub(crate) fn cmd_serve(args: &[OsString], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let addr = take_str_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7700".into());
+    let horizon = match take_str_flag(&mut args, "--horizon")? {
+        Some(v) => v.parse::<usize>().ok().filter(|&k| k >= 1).ok_or_else(|| {
+            CliError::usage(format!("--horizon: bad failure count {v} (need >= 1)"))
+        })?,
+        None => 2,
+    };
+    let jobs =
+        match take_str_flag(&mut args, "--jobs")? {
+            Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                CliError::usage(format!("--jobs: bad worker count {v} (need >= 1)"))
+            })?,
+            None => PmdConfig::default().jobs,
+        };
+    let workers = match take_str_flag(&mut args, "--workers")? {
+        Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError::usage(format!("--workers: bad worker count {v} (need >= 1)"))
+        })?,
+        None => PmdConfig::default().workers,
+    };
+    let port_file = take_flag(&mut args, "--port-file")?.map(PathBuf::from);
+    let spec = parse_network(&mut args)?;
+    ensure_consumed(&args)?;
+
+    let cfg = PmdConfig {
+        horizon,
+        jobs,
+        workers,
+        ..Default::default()
+    };
+    let spec = Arc::new(spec);
+    if spec.graphml.is_none() && horizon >= 6 {
+        return Err(CliError::usage(format!(
+            "--horizon: {horizon} needs more controllers than the paper setup's 6"
+        )));
+    }
+    // The generation source re-reads the topology on every call — that is
+    // what makes POST /reload a hot swap of on-disk GraphML edits.
+    let source = {
+        let spec: Arc<NetworkSpec> = Arc::clone(&spec);
+        Box::new(move |id| {
+            let net = build_network(&spec).map_err(|e| e.message)?;
+            if cfg.horizon >= net.controllers().len() {
+                return Err(format!(
+                    "horizon {} needs more controllers than the network's {}",
+                    cfg.horizon,
+                    net.controllers().len()
+                ));
+            }
+            Ok(Generation::build(id, net, &cfg))
+        })
+    };
+    let service = PmdService::start(addr.as_str(), source, cfg)
+        .map_err(|e| CliError::runtime(format!("pmd cannot serve on {addr}: {e}")))?;
+
+    let bound = service.local_addr();
+    if let Some(path) = &port_file {
+        std::fs::write(path, format!("{bound}\n")).map_err(|e| {
+            CliError::runtime(format!("cannot write port file {}: {e}", path.display()))
+        })?;
+    }
+    let generation = service.generation();
+    let _ = writeln!(
+        out,
+        "pmd serving on http://{bound} — {} plans (f <= {}) built in {:.1} ms",
+        generation.store().len(),
+        generation.store().horizon(),
+        generation.store().build_elapsed().as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "routes: POST /plan, GET /plans/<rank>, GET /status.json, GET /healthz, \
+         GET /metrics, POST /reload, POST /shutdown"
+    );
+    out.flush().ok();
+    drop(generation);
+
+    service.wait_for_shutdown();
+    let (store_hits, solved) = service.served();
+    let _ = writeln!(
+        out,
+        "pmd: shutdown requested — served {store_hits} plans from the store, {solved} solved on demand"
+    );
+    Ok(())
+}

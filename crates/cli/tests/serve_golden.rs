@@ -1,0 +1,144 @@
+//! Golden tests for `pmctl serve`: usage errors name the offending flag,
+//! a bind failure is a [`CliError`] (exit 1, not a panic), and the daemon
+//! spawned as the real binary shuts down cleanly — exit 0 — when told to
+//! via `POST /shutdown`.
+
+use pm_cli::{run, CliError};
+use std::ffi::OsString;
+use std::io::{Read, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn run_serve(args: &[&str]) -> (String, Result<(), CliError>) {
+    let argv: Vec<OsString> = args.iter().map(OsString::from).collect();
+    let mut out = Vec::new();
+    let result = run(&argv, &mut out);
+    (String::from_utf8(out).expect("utf-8 output"), result)
+}
+
+#[test]
+fn usage_errors_name_the_offending_flag() {
+    for (args, flag) in [
+        (&["serve", "--horizon", "zero"][..], "--horizon"),
+        (&["serve", "--horizon", "0"][..], "--horizon"),
+        (&["serve", "--jobs", "many"][..], "--jobs"),
+        (&["serve", "--jobs", "0"][..], "--jobs"),
+        (&["serve", "--workers", "-3"][..], "--workers"),
+        (&["serve", "--addr"][..], "--addr"),
+        (&["serve", "--port-file"][..], "--port-file"),
+        (&["serve", "--controllers", "six"][..], "--controllers"),
+    ] {
+        let (_, result) = run_serve(args);
+        let err = result.expect_err("bad flag value must be a usage error");
+        assert_eq!(err.code, 2, "{args:?}");
+        assert!(
+            err.message.contains(flag),
+            "{args:?}: message must name {flag}, got: {}",
+            err.message
+        );
+    }
+    // Leftover junk is reported, not silently ignored.
+    let (_, result) = run_serve(&["serve", "--frobnicate"]);
+    let err = result.expect_err("unknown flag");
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--frobnicate"), "{}", err.message);
+}
+
+#[test]
+fn horizon_beyond_the_controller_count_is_a_usage_error() {
+    let (_, result) = run_serve(&["serve", "--horizon", "6"]);
+    let err = result.expect_err("the paper setup has 6 controllers; f=6 kills them all");
+    assert_eq!(err.code, 2);
+    assert!(err.message.contains("--horizon"), "{}", err.message);
+}
+
+#[test]
+fn bind_failure_is_a_runtime_cli_error() {
+    // Occupy a port, then ask pmd to bind it.
+    let occupied = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = occupied.local_addr().unwrap().to_string();
+    let (_, result) = run_serve(&["serve", "--addr", &addr]);
+    let err = result.expect_err("binding an occupied port must fail");
+    assert_eq!(err.code, 1, "{}", err.message);
+    assert!(
+        err.message.contains(&addr),
+        "message must name the address: {}",
+        err.message
+    );
+}
+
+/// Spawns the real `pmctl` binary, discovers its ephemeral port through
+/// `--port-file`, drives the HTTP API, and checks a `POST /shutdown`
+/// produces a clean exit 0 with the farewell line on stdout.
+#[test]
+fn spawned_daemon_shuts_down_cleanly_on_request() {
+    let dir = std::env::temp_dir().join(format!("pm-serve-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let port_file = dir.join("pmd.port");
+    let _ = std::fs::remove_file(&port_file);
+
+    let child = std::process::Command::new(env!("CARGO_BIN_EXE_pmctl"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn pmctl serve");
+
+    // The port file appears once the listener is up.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            let s = s.trim().to_string();
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(Instant::now() < deadline, "pmd never wrote its port file");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let request = |raw: &str| -> String {
+        let mut stream = TcpStream::connect(&addr).expect("connect to pmd");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        text
+    };
+
+    let health = request("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    let body = "{\"controllers\": [1,4]}";
+    let plan = request(&format!(
+        "POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(plan.starts_with("HTTP/1.1 200"), "{plan}");
+    assert!(plan.contains("\"source\": \"store\""), "{plan}");
+
+    let bye = request("POST /shutdown HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+
+    let output = child.wait_with_output().expect("pmd exits");
+    assert!(
+        output.status.success(),
+        "pmd must exit 0 after POST /shutdown, got {:?}",
+        output.status
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("pmd serving on http://"), "{stdout}");
+    assert!(stdout.contains("shutdown requested"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

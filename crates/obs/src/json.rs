@@ -55,6 +55,14 @@ impl Value {
         }
     }
 
+    /// The decoded string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// The object members, if this is an object.
     pub fn members(&self) -> Option<&[(String, Value)]> {
         match self {

@@ -60,7 +60,7 @@ pub use export::{
     prometheus_text, write_artifact, write_chrome_trace, write_metrics, write_prometheus,
 };
 pub use prof::{Profiler, ProfilerConfig};
-pub use serve::MetricsServer;
+pub use serve::{MetricsServer, Request, Response, Router, ServeConfig};
 pub use timeseries::{Sampler, SamplerConfig};
 
 use std::collections::BTreeMap;

@@ -299,8 +299,16 @@ impl RecoveryPlan {
     /// sdn s13 f42 C1
     /// ```
     pub fn to_text(&self) -> String {
-        use std::fmt::Write as _;
         let mut out = String::new();
+        self.to_text_into(&mut out);
+        out
+    }
+
+    /// Appends the [`RecoveryPlan::to_text`] serialization to `out` —
+    /// the allocation-reusing variant bulk writers (the `pmd` plan-store
+    /// build) call in a loop with one carried buffer.
+    pub fn to_text_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
         for (&s, &c) in &self.mapping {
             let _ = writeln!(out, "map s{} C{}", s.index(), c.index());
         }
@@ -310,7 +318,6 @@ impl RecoveryPlan {
         for (&(s, l), &c) in &self.sdn {
             let _ = writeln!(out, "sdn s{} f{} C{}", s.index(), l.index(), c.index());
         }
-        out
     }
 
     /// Parses the format produced by [`RecoveryPlan::to_text`]. Blank lines

@@ -1,0 +1,127 @@
+//! Property tests for the `pmd` plan store: on seeded Waxman WANs, a
+//! [`PlanStore`] lookup must be byte-identical to a fresh single-case
+//! sweep-engine solve for **every** `f ≤ horizon` scenario, at any job
+//! count — and the beyond-horizon fallback ([`Generation`]'s on-demand
+//! solve) must equal a cold solve of the same failure set.
+
+use pm_bench::{
+    build_wan, EvalOptions, Generation, PlanStore, PmdConfig, ScenarioSpace, SweepEngine, WanSpec,
+};
+use pm_sdwan::ControllerId;
+use proptest::prelude::*;
+
+fn spec(nodes: usize, controllers: usize, seed: u64) -> WanSpec {
+    WanSpec {
+        nodes,
+        controllers,
+        flows: 200,
+        headroom: 1.2,
+        seed,
+    }
+}
+
+fn engine_opts(jobs: usize) -> EvalOptions {
+    EvalOptions {
+        skip_optimal: true,
+        jobs,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn store_lookups_equal_fresh_solves_for_every_scenario(
+        (nodes, controllers, seed) in (24usize..=40, 4usize..=5, 0u64..1000),
+    ) {
+        let horizon = 2usize;
+        let wan = build_wan(&spec(nodes, controllers, seed));
+
+        // Build at jobs 1 and jobs 8: the stores must be byte-identical.
+        let serial = {
+            let engine = SweepEngine::new(&wan.net, engine_opts(1));
+            PlanStore::build(&engine, horizon)
+        };
+        let parallel = {
+            let engine = SweepEngine::new(&wan.net, engine_opts(8));
+            PlanStore::build(&engine, horizon)
+        };
+        prop_assert_eq!(serial.len(), parallel.len());
+
+        // Every f <= horizon scenario: the stored plan equals a fresh
+        // single-case solve, bit for bit, through both stores.
+        let fresh_engine = SweepEngine::new(&wan.net, engine_opts(1));
+        let mut checked = 0u64;
+        for f in 1..=horizon {
+            let space = ScenarioSpace::new(controllers, f);
+            for rank in 0..space.count() {
+                let failed = space.unrank(rank);
+                let fresh = fresh_engine.solve_plan(&failed);
+                let fresh_text = fresh.plan.to_text();
+                for store in [&serial, &parallel] {
+                    let entry = store.lookup(&failed).expect("within horizon");
+                    prop_assert_eq!(
+                        &entry.plan_text, &fresh_text,
+                        "seed {} nodes {} f={} rank {}: store != fresh solve",
+                        seed, nodes, f, rank
+                    );
+                    prop_assert_eq!(
+                        entry.min_programmability,
+                        fresh.metrics.min_programmability
+                    );
+                    prop_assert_eq!(
+                        entry.total_programmability,
+                        fresh.metrics.total_programmability
+                    );
+                    prop_assert_eq!(entry.failed.clone(), failed.clone());
+                }
+                checked += 1;
+            }
+        }
+        prop_assert_eq!(checked, serial.len());
+    }
+
+    #[test]
+    fn beyond_horizon_fallback_equals_a_cold_solve(
+        (nodes, seed) in (24usize..=40, 0u64..1000),
+    ) {
+        // 5 controllers, horizon 2: every 3-failure set is beyond the
+        // store and must take the fallback path.
+        let controllers = 5usize;
+        let wan_spec = spec(nodes, controllers, seed);
+        let generation = Generation::build(
+            1,
+            build_wan(&wan_spec).net,
+            &PmdConfig { horizon: 2, jobs: 2, ..Default::default() },
+        );
+        let cold_net = build_wan(&wan_spec).net;
+        let cold_engine = SweepEngine::new(&cold_net, engine_opts(1));
+
+        let space = ScenarioSpace::new(controllers, 3);
+        for rank in 0..space.count() {
+            let failed = space.unrank(rank);
+            prop_assert!(generation.store().lookup(&failed).is_none());
+            let served = generation
+                .solve_beyond_horizon(&failed)
+                .expect("survivors remain");
+            let cold = cold_engine.solve_plan(&failed);
+            prop_assert_eq!(
+                &served.plan_text,
+                &cold.plan.to_text(),
+                "seed {} rank {}: fallback != cold solve",
+                seed,
+                rank
+            );
+            prop_assert_eq!(served.min_programmability, cold.metrics.min_programmability);
+            prop_assert_eq!(
+                served.total_programmability,
+                cold.metrics.total_programmability
+            );
+        }
+
+        // A set the network cannot survive is a clean error, not a panic.
+        let everyone: Vec<ControllerId> = (0..controllers).map(ControllerId).collect();
+        prop_assert!(generation.solve_beyond_horizon(&everyone).is_err());
+    }
+}

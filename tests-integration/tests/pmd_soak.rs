@@ -1,0 +1,223 @@
+//! Concurrency soak for the `pmd` serving path: client threads hammer
+//! `POST /plan` and `GET /plans/<rank>` with overlapping requests while
+//! `POST /reload` swaps the topology mid-flight — between two *different*
+//! networks (4 vs 5 controllers), so a response mixing generations would
+//! be caught by its own shape facts.
+//!
+//! Checks, per response: it parses, it names one generation, and every
+//! field agrees with that generation's topology (controller count, store
+//! size, rank bounds). Checks, globally: no deadlock (the test finishes),
+//! no errors on always-valid requests, and every reload really landed.
+
+use pm_bench::{build_wan, Generation, PmdConfig, PmdService, WanSpec};
+use pm_obs::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Generation id → its topology: odd ids get 5 controllers, even ids 4.
+fn controllers_for(generation: u64) -> usize {
+    if generation % 2 == 1 {
+        5
+    } else {
+        4
+    }
+}
+
+/// Plans in an `f ≤ 2` store over `n` controllers: `C(n,1) + C(n,2)`.
+fn plans_for(n: usize) -> u64 {
+    (n + n * (n - 1) / 2) as u64
+}
+
+fn start_service(jobs: usize) -> PmdService {
+    let cfg = PmdConfig {
+        horizon: 2,
+        jobs,
+        workers: 4,
+        ..Default::default()
+    };
+    let source = Box::new(move |id| {
+        let wan = build_wan(&WanSpec {
+            nodes: 28,
+            controllers: controllers_for(id),
+            flows: 150,
+            headroom: 1.2,
+            seed: 7 + id % 2, // two fixed topologies, alternating
+        });
+        Ok(Generation::build(id, wan.net, &cfg))
+    });
+    PmdService::start("127.0.0.1:0", source, cfg).expect("pmd starts")
+}
+
+fn request(addr: SocketAddr, raw: &str) -> Result<(u16, json::Value), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(raw.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let (head, body) = text.split_once("\r\n\r\n").ok_or("no header/body split")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("no status code")?;
+    let value = json::parse(body).map_err(|e| format!("unparseable body: {e}\n{body}"))?;
+    Ok((status, value))
+}
+
+/// Asserts one 200 plan response is internally consistent with exactly
+/// one topology generation.
+fn check_consistency(v: &json::Value) -> Result<(), String> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| format!("response lacks {k}"))
+    };
+    let generation = field("generation")?;
+    let store = v.get("store").ok_or("response lacks store")?;
+    let in_store = |k: &str| {
+        store
+            .get(k)
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| format!("store lacks {k}"))
+    };
+    let n = controllers_for(generation);
+    if in_store("controllers")? != n as u64 {
+        return Err(format!(
+            "generation {generation} must have {n} controllers, got {:?}",
+            store.get("controllers")
+        ));
+    }
+    if in_store("plans")? != plans_for(n) {
+        return Err(format!(
+            "generation {generation} must hold {} plans, got {:?}",
+            plans_for(n),
+            store.get("plans")
+        ));
+    }
+    if let Some(rank) = v.get("rank").and_then(json::Value::as_u64) {
+        if rank >= plans_for(n) {
+            return Err(format!(
+                "rank {rank} out of generation {generation}'s store of {}",
+                plans_for(n)
+            ));
+        }
+    }
+    if v.get("plan").and_then(json::Value::as_str).is_none() {
+        return Err("response lacks the plan text".into());
+    }
+    Ok(())
+}
+
+fn soak(jobs: usize) {
+    const CLIENTS: usize = 8;
+    const RELOADS: u64 = 4;
+
+    let service = start_service(jobs);
+    let addr = service.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let checked = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..CLIENTS {
+            let stop = Arc::clone(&stop);
+            let checked = Arc::clone(&checked);
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let mut i = t; // offset the streams so ranks overlap but interleave
+                while !stop.load(Ordering::Relaxed) {
+                    // Requests valid in BOTH topologies: controller
+                    // indices < 4, ranks < the 4-controller store size.
+                    let (status, v) = match i % 3 {
+                        0 => {
+                            let body = format!("{{\"controllers\": [{}]}}", i % 4);
+                            request(
+                                addr,
+                                &format!(
+                                    "POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                                    body.len()
+                                ),
+                            )?
+                        }
+                        1 => {
+                            let body =
+                                format!("{{\"controllers\": [{}, {}]}}", i % 4, (i + 1 + i % 3) % 4);
+                            request(
+                                addr,
+                                &format!(
+                                    "POST /plan HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                                    body.len()
+                                ),
+                            )?
+                        }
+                        _ => request(
+                            addr,
+                            &format!(
+                                "GET /plans/{} HTTP/1.1\r\nHost: x\r\n\r\n",
+                                i as u64 % plans_for(4)
+                            ),
+                        )?,
+                    };
+                    if status != 200 {
+                        return Err(format!("request {i} on thread {t}: status {status} {v:?}"));
+                    }
+                    check_consistency(&v)
+                        .map_err(|e| format!("request {i} on thread {t}: {e}"))?;
+                    checked.fetch_add(1, Ordering::Relaxed);
+                    i += CLIENTS;
+                }
+                Ok(())
+            }));
+        }
+
+        // Reload mid-flight, repeatedly, from the control thread.
+        for r in 0..RELOADS {
+            std::thread::sleep(Duration::from_millis(60));
+            let (status, v) = request(
+                addr,
+                "POST /reload HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+            )
+            .expect("reload answers");
+            assert_eq!(status, 200, "reload {r}: {v:?}");
+            let generation = v
+                .get("generation")
+                .and_then(json::Value::as_u64)
+                .expect("reload names the new generation");
+            assert_eq!(generation, r + 2, "reloads land in order");
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        stop.store(true, Ordering::Relaxed);
+
+        for h in handles {
+            h.join()
+                .expect("client thread")
+                .expect("consistent responses");
+        }
+    });
+
+    // The final generation is the last reload's, and traffic flowed
+    // through the whole soak.
+    assert_eq!(service.generation().id(), RELOADS + 1);
+    let total = checked.load(Ordering::Relaxed);
+    assert!(total > 100, "soak only checked {total} responses");
+    let (hits, _solved) = service.served();
+    assert!(hits >= total, "served {hits} < checked {total}");
+}
+
+#[test]
+fn reload_soak_is_consistent_serial_build() {
+    soak(1);
+}
+
+#[test]
+fn reload_soak_is_consistent_parallel_build() {
+    soak(8);
+}
